@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation: ITRS process-node scaling (the stated reason the paper
+ * builds on McPAT: "we can use the ITRS roadmap scaling techniques").
+ * Projects the GT240 architecture across 65..28 nm and reports
+ * static power, area, and peak dynamic power.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "common/logging.hh"
+#include "power/chip_power.hh"
+
+using namespace gpusimpow;
+
+int
+main()
+{
+    try {
+        std::printf("=== Ablation: process-node scaling of the GT240 "
+                    "architecture ===\n");
+        std::printf("%6s %8s %12s %12s %12s\n", "node", "Vdd",
+                    "static[W]", "area[mm2]", "peak dyn[W]");
+        for (unsigned node : {65u, 45u, 40u, 32u, 28u}) {
+            GpuConfig cfg = GpuConfig::gt240();
+            cfg.tech.node_nm = node;
+            cfg.tech.vdd = -1.0;   // nominal Vdd of the node
+            // Use nominal Vdd from the tech table.
+            power::GpuPowerModel model(cfg);
+            std::printf("%4u nm %8.2f %12.2f %12.1f %12.1f\n", node,
+                        model.techNode().vdd, model.staticPower(),
+                        model.area(), model.peakDynamicPower());
+        }
+        std::printf("\n(cell area scales with F^2; HP leakage per "
+                    "micron rises toward smaller nodes, so static "
+                    "power does not shrink with area)\n");
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

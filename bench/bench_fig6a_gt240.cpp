@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 6a: simulated vs measured total power for all 19 benchmark
+ * kernels on the GT240 (paper: 11.7 % average relative error, 28.3 %
+ * dynamic-only, 35.4 % maximum at mergeSort3).
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "bench/fig6_common.hh"
+#include "common/logging.hh"
+
+int
+main()
+{
+    try {
+        return gpusimpow::bench::runFigure6(
+            gpusimpow::GpuConfig::gt240(), "6a", 0.117, 0.283);
+    } catch (const gpusimpow::FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 6b: simulated vs measured total power for all 19 benchmark
+ * kernels on the GTX580 (paper: 10.8 % average relative error,
+ * 20.9 % dynamic-only, 25.2 % maximum at scalarProd).
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "bench/fig6_common.hh"
+#include "common/logging.hh"
+
+int
+main()
+{
+    try {
+        return gpusimpow::bench::runFigure6(
+            gpusimpow::GpuConfig::gtx580(), "6b", 0.108, 0.209);
+    } catch (const gpusimpow::FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces the static-power estimation methodology of
+ * SectionIV-B and the card idle states discussed in SectionV-A:
+ *  - GT240: run a steady workload at stock and at 80 % clock and
+ *    extrapolate linearly to 0 Hz (no dynamic power at 0 Hz per
+ *    Eq. 1) -> ~17.6 W;
+ *  - GTX580: the driver cannot change clocks, so multiply the
+ *    between-kernels power (90 W) by the static/idle ratio found on
+ *    the GT240 -> ~80 W;
+ *  - idle states: GT240 ~15 W power-gated, 19.5 W around kernels
+ *    (~90 % of which is static).
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "common/logging.hh"
+#include "measure/validation.hh"
+#include "power/chip_power.hh"
+
+using namespace gpusimpow;
+
+int
+main()
+{
+    try {
+        std::printf("=== SectionIV-B: hardware static power "
+                    "estimation ===\n\n");
+
+        // --- GT240: frequency extrapolation ---
+        GpuConfig gt240 = GpuConfig::gt240();
+        power::GpuPowerModel model240(gt240);
+        measure::ValidationHarness h240(gt240, model240.staticPower(),
+                                        0x5EED);
+        double est240 = h240.measuredStatic();
+        std::printf("GT240  frequency-extrapolation estimate: %6.2f W "
+                    "(true virtual-card static: %.2f W, paper real: "
+                    "17.6 W)\n",
+                    est240, h240.hardware().trueStaticPower());
+        std::printf("GT240  idle (power gated): %6.2f W (paper: "
+                    "~15 W)\n",
+                    h240.hardware().idlePower());
+        double pre240 = h240.hardware().preKernelPower();
+        std::printf("GT240  around kernels:     %6.2f W (paper: "
+                    "19.5 W), static share %.0f%% (paper: ~90%%)\n\n",
+                    pre240,
+                    h240.hardware().trueStaticPower() / pre240 * 100.0);
+
+        // --- GTX580: idle-ratio method ---
+        GpuConfig gtx580 = GpuConfig::gtx580();
+        power::GpuPowerModel model580(gtx580);
+        measure::ValidationHarness h580(gtx580, model580.staticPower(),
+                                        0x5EED);
+        double est580 = h580.measuredStatic();
+        std::printf("GTX580 around kernels:     %6.2f W (paper: "
+                    "90 W)\n",
+                    h580.hardware().preKernelPower());
+        std::printf("GTX580 idle-ratio estimate: %5.2f W "
+                    "(true virtual-card static: %.2f W, paper "
+                    "estimate: 80 W)\n",
+                    est580, h580.hardware().trueStaticPower());
+        std::printf("\nsimulated static power: GT240 %.1f W, GTX580 "
+                    "%.1f W (Table IV)\n",
+                    model240.staticPower(), model580.staticPower());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Table IV of the paper: simulated static power and chip
+ * area for the GT240 and GTX580, next to the paper's simulated and
+ * real values. The "real" column for our run comes from the virtual
+ * measurement testbed's static-power estimation (frequency
+ * extrapolation on the GT240, idle-ratio method on the GTX580), as
+ * in SectionIV-B of the paper.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "common/logging.hh"
+#include "power/chip_power.hh"
+
+using namespace gpusimpow;
+
+int
+main()
+{
+    try {
+        struct Target
+        {
+            GpuConfig cfg;
+            double paper_sim_static;
+            double paper_real_static;
+            double paper_sim_area;
+            double paper_real_area;
+        };
+        Target targets[] = {
+            {GpuConfig::gt240(), 17.9, 17.6, 105.0, 133.0},
+            {GpuConfig::gtx580(), 81.5, 80.0, 306.0, 520.0},
+        };
+
+        std::printf("=== Table IV: static power and area ===\n");
+        std::printf("%-10s %18s %18s\n", "", "Static [W]", "Area [mm2]");
+        std::printf("%-10s %9s %8s %9s %8s\n", "GPU", "sim", "paper",
+                    "sim", "paper");
+        for (const auto &t : targets) {
+            power::GpuPowerModel model(t.cfg);
+            std::printf("%-10s %9.1f %8.1f %9.0f %8.0f   "
+                        "(paper real: %.1f W, %.0f mm2)\n",
+                        t.cfg.name.c_str(), model.staticPower(),
+                        t.paper_sim_static, model.area(),
+                        t.paper_sim_area, t.paper_real_static,
+                        t.paper_real_area);
+        }
+        std::printf("\nPeak dynamic power: GT240 %.1f W, GTX580 %.1f W\n",
+                    power::GpuPowerModel(GpuConfig::gt240())
+                        .peakDynamicPower(),
+                    power::GpuPowerModel(GpuConfig::gtx580())
+                        .peakDynamicPower());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

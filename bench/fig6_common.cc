@@ -1,0 +1,115 @@
+#include "bench/fig6_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "measure/validation.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace bench {
+
+int
+runFigure6(const GpuConfig &cfg, const char *figure_name,
+           double paper_avg_err, double paper_dyn_err)
+{
+    std::printf("=== Figure %s: simulated vs measured power, %s ===\n",
+                figure_name, cfg.name.c_str());
+
+    Simulator sim(cfg);
+    measure::ValidationHarness harness(
+        cfg, sim.powerModel().staticPower(), 0x5EED);
+
+    // Run every kernel of every benchmark; kernels executed several
+    // times during a benchmark (bfs levels, needle diagonals...) are
+    // averaged per label, as the paper does (SectionV-A).
+    struct Agg
+    {
+        measure::KernelValidation sum;
+        unsigned n = 0;
+    };
+    std::map<std::string, Agg> per_label;
+
+    for (auto &wl : workloads::makeAllWorkloads()) {
+        auto seq = wl->prepare(sim.gpu());
+        for (const auto &kl : seq) {
+            KernelRun run =
+                sim.runKernel(kl.prog, kl.launch, true, 20e-6);
+            measure::KernelValidation v =
+                harness.validate(kl.label, run, kl.repeatable);
+            Agg &agg = per_label[kl.label];
+            if (agg.n == 0) {
+                agg.sum = v;
+            } else {
+                agg.sum.sim_static_w += v.sim_static_w;
+                agg.sum.sim_dynamic_w += v.sim_dynamic_w;
+                agg.sum.sim_dram_w += v.sim_dram_w;
+                agg.sum.meas_static_w += v.meas_static_w;
+                agg.sum.meas_dynamic_w += v.meas_dynamic_w;
+                agg.sum.kernel_s += v.kernel_s;
+            }
+            ++agg.n;
+        }
+        if (!wl->verify(sim.gpu()))
+            fatal("workload ", wl->name(), " failed verification");
+    }
+
+    std::printf("%-14s %9s %9s | %9s %9s | %9s %9s | %7s\n", "kernel",
+                "simStat", "simDyn", "measStat", "measDyn", "simTot",
+                "measTot", "relErr");
+    double sum_abs_err = 0.0;
+    double sum_abs_dyn_err = 0.0;
+    double max_err = 0.0;
+    std::string max_err_kernel;
+    unsigned n = 0;
+
+    for (const std::string &label : workloads::figure6KernelOrder()) {
+        auto it = per_label.find(label);
+        GSP_ASSERT(it != per_label.end(), "kernel ", label,
+                   " missing from the run");
+        measure::KernelValidation v = it->second.sum;
+        double scale = 1.0 / it->second.n;
+        v.sim_static_w *= scale;
+        v.sim_dynamic_w *= scale;
+        v.sim_dram_w *= scale;
+        v.meas_static_w *= scale;
+        v.meas_dynamic_w *= scale;
+
+        double err = v.relError();
+        sum_abs_err += std::fabs(err);
+        double dyn_err =
+            ((v.sim_dynamic_w + v.sim_dram_w) - v.meas_dynamic_w) /
+            v.meas_dynamic_w;
+        sum_abs_dyn_err += std::fabs(dyn_err);
+        if (std::fabs(err) > std::fabs(max_err)) {
+            max_err = err;
+            max_err_kernel = label;
+        }
+        ++n;
+        std::printf("%-14s %9.2f %9.2f | %9.2f %9.2f | %9.2f %9.2f "
+                    "| %+6.1f%%\n",
+                    label.c_str(), v.sim_static_w,
+                    v.sim_dynamic_w + v.sim_dram_w, v.meas_static_w,
+                    v.meas_dynamic_w, v.simTotal(), v.measTotal(),
+                    err * 100.0);
+    }
+
+    std::printf("\naverage relative error (total power): %.1f%% "
+                "(paper: %.1f%%)\n",
+                sum_abs_err / n * 100.0, paper_avg_err * 100.0);
+    std::printf("average relative error (dynamic only): %.1f%% "
+                "(paper: %.1f%%)\n",
+                sum_abs_dyn_err / n * 100.0, paper_dyn_err * 100.0);
+    std::printf("maximum relative error: %+.1f%% (%s)\n",
+                max_err * 100.0, max_err_kernel.c_str());
+    std::printf("measurement chain error bound: +-%.1f%%\n\n",
+                harness.testbed().errorBound() * 100.0);
+    return 0;
+}
+
+} // namespace bench
+} // namespace gpusimpow

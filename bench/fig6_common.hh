@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared implementation of the Fig. 6 experiments: run all 19
+ * benchmark kernels on one card, validate each against the virtual
+ * hardware through the measurement testbed, and print the bar data
+ * (simulated/measured static and dynamic power per kernel) plus the
+ * aggregate error statistics the paper reports.
+ */
+
+#ifndef GPUSIMPOW_BENCH_FIG6_COMMON_HH
+#define GPUSIMPOW_BENCH_FIG6_COMMON_HH
+
+#include "config/gpu_config.hh"
+
+namespace gpusimpow {
+namespace bench {
+
+/**
+ * Run the full Fig. 6 experiment for one card.
+ * @param cfg GPU preset
+ * @param figure_name "6a" or "6b"
+ * @param paper_avg_err the paper's average relative error (0.117 or
+ *        0.108) printed for comparison
+ * @param paper_dyn_err the paper's dynamic-only average error
+ * @return 0 on success
+ */
+int runFigure6(const GpuConfig &cfg, const char *figure_name,
+               double paper_avg_err, double paper_dyn_err);
+
+} // namespace bench
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_BENCH_FIG6_COMMON_HH

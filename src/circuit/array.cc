@@ -1,0 +1,165 @@
+#include "circuit/array.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace circuit {
+
+namespace {
+
+// Width (in um) of the transistors in one 6T cell's pass gates and
+// pull-downs, expressed as multiples of the minimum width.
+constexpr double pass_width_mult = 1.0;
+constexpr double cell_leak_width_mult = 2.0;
+
+// Reads are sensed at a reduced bitline swing.
+constexpr double read_swing_frac = 0.25;
+
+// Fixed overhead of decoders, sense amps, drivers, and H-tree
+// routing, applied multiplicatively to the core array energies.
+// Calibrated so a 16KB array reads ~32B for O(10 pJ) at 40 nm, in
+// line with CACTI 6.5 results for comparable arrays.
+constexpr double periphery_energy_overhead = 2.2;
+constexpr double periphery_area_overhead = 1.35;
+constexpr double periphery_leak_overhead = 1.25;
+
+} // namespace
+
+SramArray::SramArray(const SramParams &p, const tech::TechNode &t)
+{
+    GSP_ASSERT(p.entries > 0 && p.bits_per_entry > 0,
+               "SRAM array must have entries and width");
+    unsigned total_ports = p.read_ports + p.write_ports + p.rw_ports;
+    GSP_ASSERT(total_ports > 0, "SRAM array needs at least one port");
+
+    _bits = static_cast<double>(p.entries) * p.bits_per_entry;
+
+    // Aspect: split entries over banks; a bank is organised as close
+    // to square as the entry width permits.
+    double entries_per_bank =
+        std::ceil(static_cast<double>(p.entries) / p.banks);
+    double rows = entries_per_bank;
+    double cols = static_cast<double>(p.bits_per_entry);
+    // Fold very tall banks (CACTI's Ndwl-style degree of freedom).
+    while (rows > 4.0 * cols && rows >= 2.0) {
+        rows = std::ceil(rows / 2.0);
+        cols *= 2.0;
+    }
+
+    // Cell geometry. Every port beyond the first adds a wordline and
+    // a bitline pair: ~70% of the base cell footprint each.
+    double port_factor = 1.0 + 0.7 * (total_ports - 1);
+    double cell_area = t.sramCellArea() * port_factor;
+    double cell_w = std::sqrt(cell_area * 2.0);  // cells are ~2:1
+    double cell_h = cell_area / cell_w;
+
+    double w_pass_um = pass_width_mult * t.w_min_m * 1e6;
+    const tech::Device &dev =
+        p.device == tech::DeviceType::HP ? t.hp : t.lstp;
+
+    // Wordline: gate cap of two pass transistors per cell plus wire.
+    double c_wordline = cols * (2.0 * dev.c_gate_per_um * w_pass_um) +
+                        cols * cell_w * t.c_wire_per_m;
+    // One bitline column: drain cap per cell plus wire.
+    double c_bitline = rows * (dev.c_diff_per_um * w_pass_um) +
+                       rows * cell_h * t.c_wire_per_m;
+
+    // Read: wordline full swing + all columns swing partially.
+    double e_read_core = c_wordline * t.vdd * t.vdd +
+                         cols * c_bitline * t.vdd *
+                             (t.vdd * read_swing_frac);
+    // Write: wordline + full-swing bitline pairs.
+    double e_write_core = c_wordline * t.vdd * t.vdd +
+                          cols * c_bitline * t.vdd * t.vdd;
+
+    _numbers.read_energy_j = e_read_core * periphery_energy_overhead;
+    _numbers.write_energy_j = e_write_core * periphery_energy_overhead;
+
+    _numbers.area_m2 = _bits * cell_area * periphery_area_overhead;
+
+    double leak_width_um =
+        _bits * cell_leak_width_mult * (t.w_min_m * 1e6);
+    _numbers.leakage_w =
+        t.leakage(leak_width_um, p.device) * periphery_leak_overhead;
+    _numbers.gate_leak_w = t.gateLeakage(leak_width_um, p.device);
+}
+
+CamArray::CamArray(const CamParams &p, const tech::TechNode &t)
+{
+    GSP_ASSERT(p.entries > 0 && p.tag_bits > 0,
+               "CAM must have entries and a tag");
+
+    // A search drives the tag bits across every entry: each CAM cell
+    // presents two comparison-gate caps, and all matchlines
+    // precharge/discharge.
+    double w_um = t.w_min_m * 1e6;
+    double c_per_cell = 2.0 * t.hp.c_gate_per_um * w_um +
+                        t.hp.c_diff_per_um * w_um;
+    double c_search = static_cast<double>(p.entries) * p.tag_bits *
+                      c_per_cell;
+    double c_matchlines = static_cast<double>(p.entries) *
+                          (p.tag_bits * t.hp.c_diff_per_um * w_um);
+
+    _numbers.read_energy_j =
+        (c_search + c_matchlines) * t.vdd * t.vdd *
+        periphery_energy_overhead;
+
+    // Payload readout behaves like a tiny SRAM row read.
+    SramParams data;
+    data.entries = p.entries;
+    data.bits_per_entry = p.data_bits > 0 ? p.data_bits : 1;
+    SramArray payload(data, t);
+    _numbers.read_energy_j += payload.readEnergy();
+    _numbers.write_energy_j =
+        payload.writeEnergy() +
+        p.tag_bits * c_per_cell * t.vdd * t.vdd;
+
+    // CAM cells are ~2x the area of 6T RAM cells (9T-10T designs).
+    double cam_bits = static_cast<double>(p.entries) * p.tag_bits;
+    _numbers.area_m2 = cam_bits * 2.0 * t.sramCellArea() *
+                           periphery_area_overhead +
+                       payload.area();
+    double leak_width_um = cam_bits * 3.0 * w_um;
+    _numbers.leakage_w = t.leakage(leak_width_um) + payload.numbers().leakage_w;
+    _numbers.gate_leak_w =
+        t.gateLeakage(leak_width_um) + payload.numbers().gate_leak_w;
+
+    // Scale search energy with port count (wider drivers).
+    if (p.search_ports > 1) {
+        _numbers.read_energy_j *= p.search_ports;
+        _numbers.area_m2 *= 1.0 + 0.5 * (p.search_ports - 1);
+    }
+}
+
+DffStorage::DffStorage(double bits, const tech::TechNode &t)
+{
+    GSP_ASSERT(bits >= 0.0, "negative bit count");
+
+    // One D-flip-flop: ~24 transistors, ~20 F^2 x 24 of area, input
+    // cap of a couple of gates, clock pin cap of two gates.
+    double w_um = t.w_min_m * 1e6;
+    double c_in_per_ff = 2.0 * t.hp.c_gate_per_um * w_um;
+    double c_internal_per_ff = 6.0 * t.hp.c_gate_per_um * w_um;
+    double c_clk_per_ff = 2.0 * t.hp.c_gate_per_um * w_um;
+
+    // Writing toggles ~50% of bits on average (alpha folded in here).
+    _numbers.write_energy_j =
+        bits * 0.5 * (c_in_per_ff + c_internal_per_ff) * t.vdd * t.vdd;
+    // Reading muxes the stored bits out.
+    _numbers.read_energy_j =
+        bits * 0.5 * c_in_per_ff * t.vdd * t.vdd;
+
+    double ff_area = 24.0 * 20.0 * t.feature_m * t.feature_m;
+    _numbers.area_m2 = bits * ff_area;
+
+    double leak_width_um = bits * 6.0 * w_um;
+    _numbers.leakage_w = t.leakage(leak_width_um);
+    _numbers.gate_leak_w = t.gateLeakage(leak_width_um);
+
+    _clock_cap = bits * c_clk_per_ff;
+}
+
+} // namespace circuit
+} // namespace gpusimpow

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Memory-array circuit models: the analytic tier the paper borrows
+ * from CACTI 6.5 via McPAT. SramArray models RAM structures (register
+ * file banks, caches, SMEM, the Warp Status Table); CamArray models
+ * content-addressed structures (scoreboard lookup, instruction-buffer
+ * warp tags); DffStorage models small wide buffers that CACTI cannot
+ * represent — exactly the coalescer pending-request table / input
+ * queue case called out in SectionIII-C4 of the paper ("we compute
+ * the total amount of bits ... and model the required storage using
+ * D-FlipFlops").
+ */
+
+#ifndef GPUSIMPOW_CIRCUIT_ARRAY_HH
+#define GPUSIMPOW_CIRCUIT_ARRAY_HH
+
+#include "tech/tech.hh"
+
+namespace gpusimpow {
+namespace circuit {
+
+/** Area/energy/leakage summary every circuit primitive exposes. */
+struct CircuitNumbers
+{
+    /** Silicon area, m^2. */
+    double area_m2 = 0.0;
+    /** Energy of one read access, J. */
+    double read_energy_j = 0.0;
+    /** Energy of one write access, J. */
+    double write_energy_j = 0.0;
+    /** Subthreshold leakage power, W. */
+    double leakage_w = 0.0;
+    /** Gate leakage power, W. */
+    double gate_leak_w = 0.0;
+};
+
+/** Geometry of an SRAM array. */
+struct SramParams
+{
+    /** Number of addressable entries. */
+    unsigned entries = 1;
+    /** Bits per entry. */
+    unsigned bits_per_entry = 32;
+    /** Exclusive read ports. */
+    unsigned read_ports = 1;
+    /** Exclusive write ports. */
+    unsigned write_ports = 1;
+    /** Shared read/write ports. */
+    unsigned rw_ports = 0;
+    /** Internal banks (sub-arrays accessed independently). */
+    unsigned banks = 1;
+    /** Device flavor (HP for core-clock arrays, LSTP for big SRAM). */
+    tech::DeviceType device = tech::DeviceType::HP;
+};
+
+/**
+ * Analytic SRAM array model (CACTI-lite). The decomposition mirrors
+ * CACTI: decoder, wordline, bitlines with reduced-swing reads,
+ * sense amplifiers, and output drivers, plus an H-tree routing
+ * overhead factor for large arrays.
+ */
+class SramArray
+{
+  public:
+    /**
+     * @param p array geometry
+     * @param t technology node
+     */
+    SramArray(const SramParams &p, const tech::TechNode &t);
+
+    /** Computed circuit numbers. */
+    const CircuitNumbers &numbers() const { return _numbers; }
+    /** Area in m^2. */
+    double area() const { return _numbers.area_m2; }
+    /** Energy of a read access, J. */
+    double readEnergy() const { return _numbers.read_energy_j; }
+    /** Energy of a write access, J. */
+    double writeEnergy() const { return _numbers.write_energy_j; }
+    /** Total leakage power, W. */
+    double leakage() const
+    {
+        return _numbers.leakage_w + _numbers.gate_leak_w;
+    }
+    /** Total transistor storage bits. */
+    double bits() const { return _bits; }
+
+  private:
+    CircuitNumbers _numbers;
+    double _bits = 0.0;
+};
+
+/** Geometry of a CAM array. */
+struct CamParams
+{
+    /** Number of entries. */
+    unsigned entries = 1;
+    /** Tag bits compared per search. */
+    unsigned tag_bits = 8;
+    /** Payload bits read out on a match. */
+    unsigned data_bits = 32;
+    /** Search ports. */
+    unsigned search_ports = 1;
+};
+
+/**
+ * Content-addressable memory model: a search broadcasts the tag on
+ * matchlines (all entries switch), a hit reads the payload like a
+ * small SRAM.
+ */
+class CamArray
+{
+  public:
+    CamArray(const CamParams &p, const tech::TechNode &t);
+
+    const CircuitNumbers &numbers() const { return _numbers; }
+    /** Energy of one associative search, J. */
+    double searchEnergy() const { return _numbers.read_energy_j; }
+    /** Energy of one entry update, J. */
+    double writeEnergy() const { return _numbers.write_energy_j; }
+    double area() const { return _numbers.area_m2; }
+    double leakage() const
+    {
+        return _numbers.leakage_w + _numbers.gate_leak_w;
+    }
+
+  private:
+    CircuitNumbers _numbers;
+};
+
+/**
+ * Flip-flop-based storage for wide shallow buffers (coalescer
+ * pending-request table, queues between pipeline stages).
+ */
+class DffStorage
+{
+  public:
+    /**
+     * @param bits total storage bits
+     * @param t technology node
+     */
+    DffStorage(double bits, const tech::TechNode &t);
+
+    const CircuitNumbers &numbers() const { return _numbers; }
+    double area() const { return _numbers.area_m2; }
+    /** Energy to write (toggle) the full buffer width once, J. */
+    double writeEnergy() const { return _numbers.write_energy_j; }
+    /** Energy to read the buffer (mux-out), J. */
+    double readEnergy() const { return _numbers.read_energy_j; }
+    double leakage() const
+    {
+        return _numbers.leakage_w + _numbers.gate_leak_w;
+    }
+    /** Capacitance presented to the clock network, F. */
+    double clockCap() const { return _clock_cap; }
+
+  private:
+    CircuitNumbers _numbers;
+    double _clock_cap = 0.0;
+};
+
+} // namespace circuit
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_CIRCUIT_ARRAY_HH

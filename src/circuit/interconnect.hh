@@ -1,0 +1,114 @@
+/**
+ * @file
+ * On-chip interconnect circuit models: crossbars (register-file
+ * operand distribution, SMEM/L1 address+data networks of Fig. 3),
+ * the clock distribution network, and NoC routers/links reused for
+ * the chip-level network the paper inherits from McPAT.
+ */
+
+#ifndef GPUSIMPOW_CIRCUIT_INTERCONNECT_HH
+#define GPUSIMPOW_CIRCUIT_INTERCONNECT_HH
+
+#include "circuit/array.hh"
+#include "tech/tech.hh"
+
+namespace gpusimpow {
+namespace circuit {
+
+/**
+ * Matrix crossbar: n_in input ports to n_out output ports, each
+ * `bits` wide. Area grows with the wire grid; a transfer charges one
+ * full input wire track and one output track.
+ */
+class Crossbar
+{
+  public:
+    /**
+     * @param n_in input ports
+     * @param n_out output ports
+     * @param bits datapath width per port
+     * @param t technology node
+     */
+    Crossbar(unsigned n_in, unsigned n_out, unsigned bits,
+             const tech::TechNode &t);
+
+    const CircuitNumbers &numbers() const { return _numbers; }
+    double area() const { return _numbers.area_m2; }
+    /** Energy of transferring one `bits`-wide word, J. */
+    double transferEnergy() const { return _numbers.read_energy_j; }
+    double leakage() const
+    {
+        return _numbers.leakage_w + _numbers.gate_leak_w;
+    }
+
+  private:
+    CircuitNumbers _numbers;
+};
+
+/**
+ * H-tree clock distribution over a given area driving a given load
+ * capacitance. Power = C_total * Vdd^2 * f, modulated by the gated
+ * fraction at runtime (handled by the power layer).
+ */
+class ClockNetwork
+{
+  public:
+    /**
+     * @param area_m2 region the tree spans
+     * @param load_cap_farad total clocked-element capacitance
+     * @param t technology node
+     */
+    ClockNetwork(double area_m2, double load_cap_farad,
+                 const tech::TechNode &t);
+
+    /** Total switched capacitance per clock edge pair, F. */
+    double totalCap() const { return _total_cap; }
+    /** Dynamic power at frequency f with no gating, W. */
+    double power(double f_hz) const;
+    /** Buffer leakage power, W. */
+    double leakage() const { return _leakage_w; }
+
+  private:
+    double _total_cap = 0.0;
+    double _leakage_w = 0.0;
+    double _vdd = 1.0;
+};
+
+/**
+ * One NoC router: per-port input buffers, a switch crossbar, and a
+ * round-robin allocator; plus point-to-point links of configurable
+ * length. Used for the chip-level network connecting cores to L2/MC
+ * (paper SectionIII-C: "For NoC, MC, and PCIeC, we re-used the highly
+ * configurable models already present in McPAT").
+ */
+class Router
+{
+  public:
+    /**
+     * @param ports in/out port count
+     * @param flit_bits link/flit width
+     * @param buffer_flits buffer depth per input port
+     * @param link_length_m average link length to the next hop
+     * @param t technology node
+     */
+    Router(unsigned ports, unsigned flit_bits, unsigned buffer_flits,
+           double link_length_m, const tech::TechNode &t);
+
+    double area() const { return _area_m2; }
+    /** Energy for one flit traversing buffer+switch+allocator, J. */
+    double flitEnergy() const { return _flit_energy_j; }
+    /** Energy for one flit on the outgoing link, J. */
+    double linkEnergy() const { return _link_energy_j; }
+    double leakage() const { return _leakage_w; }
+
+  private:
+    double _area_m2 = 0.0;
+    double _flit_energy_j = 0.0;
+    double _link_energy_j = 0.0;
+    double _leakage_w = 0.0;
+};
+
+} // namespace circuit
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_CIRCUIT_INTERCONNECT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Random-logic circuit models: the power-optimized parallel
+ * priority-look-ahead encoder of Kun et al. [16] that the paper uses
+ * for the rotating-priority (round-robin) warp schedulers, a
+ * McPAT-style instruction decoder, and ripple/prefix adders for the
+ * analytic part of the AGU model.
+ */
+
+#ifndef GPUSIMPOW_CIRCUIT_LOGIC_HH
+#define GPUSIMPOW_CIRCUIT_LOGIC_HH
+
+#include "circuit/array.hh"
+#include "tech/tech.hh"
+
+namespace gpusimpow {
+namespace circuit {
+
+/**
+ * Rotating-priority encoder: a ring of inverters (priority masking),
+ * a wide parallel priority-look-ahead encoder, and a phase counter,
+ * following the circuit plan of [16] as described in SectionIII-C1.
+ */
+class PriorityEncoder
+{
+  public:
+    /**
+     * @param inputs number of request lines (in-flight warps)
+     * @param t technology node
+     */
+    PriorityEncoder(unsigned inputs, const tech::TechNode &t);
+
+    double area() const { return _area_m2; }
+    /** Energy of one arbitration, J. */
+    double arbitrationEnergy() const { return _energy_j; }
+    double leakage() const { return _leakage_w; }
+    /** Clock load of the phase counter, F. */
+    double clockCap() const { return _clock_cap; }
+
+  private:
+    double _area_m2 = 0.0;
+    double _energy_j = 0.0;
+    double _leakage_w = 0.0;
+    double _clock_cap = 0.0;
+};
+
+/**
+ * Instruction decoder modeled as in McPAT: a predecoder and a
+ * PLA-like decode stage whose cost scales with opcode space and
+ * instruction width.
+ */
+class InstructionDecoder
+{
+  public:
+    /**
+     * @param opcode_bits opcode field width
+     * @param instr_bits total instruction width
+     * @param t technology node
+     */
+    InstructionDecoder(unsigned opcode_bits, unsigned instr_bits,
+                       const tech::TechNode &t);
+
+    double area() const { return _area_m2; }
+    /** Energy of decoding one instruction, J. */
+    double decodeEnergy() const { return _energy_j; }
+    double leakage() const { return _leakage_w; }
+
+  private:
+    double _area_m2 = 0.0;
+    double _energy_j = 0.0;
+    double _leakage_w = 0.0;
+};
+
+/**
+ * Prefix adder, the datapath core of a sub-AGU [22]. The empirical
+ * per-address energy of the paper's AGU model lives in the power
+ * layer; this circuit provides area and leakage.
+ */
+class Adder
+{
+  public:
+    /**
+     * @param bits operand width
+     * @param t technology node
+     */
+    Adder(unsigned bits, const tech::TechNode &t);
+
+    double area() const { return _area_m2; }
+    /** Energy of one addition, J. */
+    double addEnergy() const { return _energy_j; }
+    double leakage() const { return _leakage_w; }
+
+  private:
+    double _area_m2 = 0.0;
+    double _energy_j = 0.0;
+    double _leakage_w = 0.0;
+};
+
+} // namespace circuit
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_CIRCUIT_LOGIC_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by caches, coalescers, and register
+ * bank hashing.
+ */
+
+#ifndef GPUSIMPOW_COMMON_BITUTIL_HH
+#define GPUSIMPOW_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace gpusimpow {
+
+/** True if v is a power of two (and non-zero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round v up to the next multiple of align (align > 0). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return ((v + align - 1) / align) * align;
+}
+
+/** Ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_COMMON_BITUTIL_HH

@@ -1,0 +1,45 @@
+#include "common/logging.hh"
+
+#include <exception>
+#include <iostream>
+
+namespace gpusimpow {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel level, const std::string &tag,
+             const std::string &message)
+{
+    if (static_cast<int>(level) > static_cast<int>(_level))
+        return;
+    std::cerr << "[gpusimpow:" << tag << "] " << message << "\n";
+}
+
+namespace detail {
+
+/**
+ * Exception carrying a fatal() message. Thrown instead of exit() so
+ * unit tests can assert on fatal conditions; the top-level tools catch
+ * it and exit(1).
+ */
+void
+fatalExit(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+panicAbort(const std::string &message)
+{
+    std::cerr << "[gpusimpow:panic] " << message << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+} // namespace gpusimpow

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic
+ * element of the simulator (workload data, measurement noise, hidden
+ * hardware calibration) derives from SplitMix64/xoshiro-style streams
+ * seeded explicitly, so all experiments are bit-reproducible.
+ */
+
+#ifndef GPUSIMPOW_COMMON_RANDOM_HH
+#define GPUSIMPOW_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace gpusimpow {
+
+/**
+ * SplitMix64 generator. Small state, excellent for seeding and for
+ * per-entity derived streams (hash a name, get a stream).
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : _state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /**
+     * Standard-normal deviate via Box-Muller (one value per call; the
+     * pair's second member is discarded to keep state-advance simple).
+     */
+    double
+    nextGaussian()
+    {
+        double u1 = nextDouble();
+        double u2 = nextDouble();
+        // Avoid log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        constexpr double two_pi = 6.283185307179586;
+        return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+               __builtin_cos(two_pi * u2);
+    }
+
+  private:
+    uint64_t _state;
+};
+
+/** FNV-1a hash of a string; used to derive per-name random streams. */
+inline uint64_t
+hashString(const char *s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s) {
+        h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_COMMON_RANDOM_HH

@@ -1,0 +1,100 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+long
+parseLong(const std::string &s, const std::string &context)
+{
+    char *end = nullptr;
+    std::string t = trim(s);
+    long v = std::strtol(t.c_str(), &end, 0);
+    if (t.empty() || end == nullptr || *end != '\0')
+        fatal("cannot parse integer '", s, "' (", context, ")");
+    return v;
+}
+
+double
+parseDouble(const std::string &s, const std::string &context)
+{
+    char *end = nullptr;
+    std::string t = trim(s);
+    double v = std::strtod(t.c_str(), &end);
+    if (t.empty() || end == nullptr || *end != '\0')
+        fatal("cannot parse number '", s, "' (", context, ")");
+    return v;
+}
+
+bool
+parseBool(const std::string &s, const std::string &context)
+{
+    std::string t = trim(s);
+    if (t == "true" || t == "1")
+        return true;
+    if (t == "false" || t == "0")
+        return false;
+    fatal("cannot parse boolean '", s, "' (", context, ")");
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+        out.resize(static_cast<size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace gpusimpow

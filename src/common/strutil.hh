@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers shared across the code base (trimming, token
+ * splitting, numeric parsing with error reporting, printf-style
+ * formatting into std::string).
+ */
+
+#ifndef GPUSIMPOW_COMMON_STRUTIL_HH
+#define GPUSIMPOW_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** Split on a single-character delimiter; empty tokens preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True if s begins with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Parse a decimal integer; fatal() with context on failure. */
+long parseLong(const std::string &s, const std::string &context);
+
+/** Parse a floating-point number; fatal() with context on failure. */
+double parseDouble(const std::string &s, const std::string &context);
+
+/** Parse "true"/"false"/"1"/"0"; fatal() with context on failure. */
+bool parseBool(const std::string &s, const std::string &context);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_COMMON_STRUTIL_HH

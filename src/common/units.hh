@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical-unit helpers. All internal quantities use SI base units
+ * (seconds, hertz, watts, joules, farads, volts, amperes, meters);
+ * these constants and conversion helpers keep call sites readable and
+ * make unit errors greppable.
+ */
+
+#ifndef GPUSIMPOW_COMMON_UNITS_HH
+#define GPUSIMPOW_COMMON_UNITS_HH
+
+namespace gpusimpow {
+namespace units {
+
+// Scale prefixes.
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+constexpr double milli = 1e-3;
+constexpr double micro = 1e-6;
+constexpr double nano = 1e-9;
+constexpr double pico = 1e-12;
+constexpr double femto = 1e-15;
+
+/** Convert MHz to Hz. */
+constexpr double MHz(double v) { return v * mega; }
+/** Convert GHz to Hz. */
+constexpr double GHz(double v) { return v * giga; }
+/** Convert nanoseconds to seconds. */
+constexpr double ns(double v) { return v * nano; }
+/** Convert microseconds to seconds. */
+constexpr double us(double v) { return v * micro; }
+/** Convert milliseconds to seconds. */
+constexpr double ms(double v) { return v * milli; }
+/** Convert picojoules to joules. */
+constexpr double pJ(double v) { return v * pico; }
+/** Convert nanojoules to joules. */
+constexpr double nJ(double v) { return v * nano; }
+/** Convert milliwatts to watts. */
+constexpr double mW(double v) { return v * milli; }
+/** Convert millimeters^2 to m^2. */
+constexpr double mm2(double v) { return v * 1e-6; }
+/** Convert square meters to mm^2 (for reporting). */
+constexpr double toMm2(double v) { return v * 1e6; }
+/** Convert joules to picojoules (for reporting). */
+constexpr double toPJ(double v) { return v / pico; }
+/** Convert nanometers to meters. */
+constexpr double nm(double v) { return v * nano; }
+/** Convert micrometers to meters. */
+constexpr double um(double v) { return v * micro; }
+/** Convert femtofarads to farads. */
+constexpr double fF(double v) { return v * femto; }
+/** Convert picofarads to farads. */
+constexpr double pF(double v) { return v * pico; }
+/** Convert milliohms to ohms. */
+constexpr double mOhm(double v) { return v * milli; }
+/** Convert millivolts to volts. */
+constexpr double mV(double v) { return v * milli; }
+/** Convert milliamperes to amperes. */
+constexpr double mA(double v) { return v * milli; }
+
+} // namespace units
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_COMMON_UNITS_HH

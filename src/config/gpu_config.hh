@@ -1,0 +1,289 @@
+/**
+ * @file
+ * GPU architecture configuration schema. One GpuConfig fully
+ * describes a simulated GPU: chip organization (clusters, cores,
+ * per-core structures of Fig. 2/3 of the paper), clocks, caches, NoC,
+ * memory controllers, GDDR5 devices, PCIe, process technology, and
+ * the empirically-derived power-calibration constants of the paper's
+ * SectionIII-D.
+ *
+ * Configurations are supplied either programmatically (presets
+ * gt240() / gtx580(), Table II of the paper) or through the simple
+ * XML interface (loadXml()/toXml()).
+ */
+
+#ifndef GPUSIMPOW_CONFIG_GPU_CONFIG_HH
+#define GPUSIMPOW_CONFIG_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpusimpow {
+
+namespace xml { class Node; }
+
+/** Clock domains of the modeled card (paper Table II). */
+struct ClockConfig
+{
+    /** Uncore (NoC, L2, MC front-end) clock in Hz. */
+    double uncore_hz = 550e6;
+    /** Ratio of shader (core) clock to uncore clock. */
+    double shader_to_uncore = 2.47;
+    /** GDDR command clock in Hz (data rate is 4x for GDDR5). */
+    double dram_hz = 850e6;
+
+    /** Shader-domain clock in Hz. */
+    double shaderHz() const { return uncore_hz * shader_to_uncore; }
+};
+
+/** Per-core (streaming multiprocessor) structure sizes. */
+struct CoreConfig
+{
+    /** Maximum resident threads per core. */
+    unsigned max_threads = 768;
+    /** Threads per warp (SIMT width). */
+    unsigned warp_size = 32;
+    /** Maximum concurrently resident thread blocks per core. */
+    unsigned max_blocks = 8;
+    /** Integer SIMD lanes per core. */
+    unsigned int_lanes = 8;
+    /** Floating-point SIMD lanes per core. */
+    unsigned fp_lanes = 8;
+    /** Special function units per core (sin/cos/rcp/sqrt...). */
+    unsigned sfu_units = 2;
+    /** True if dependences are tracked with a scoreboard [18];
+     *  false models a blocking barrel-processing core. */
+    bool scoreboard = false;
+    /** Destination registers tracked per warp by the scoreboard. */
+    unsigned scoreboard_entries = 4;
+    /** Warp instructions issued per cycle (warp schedulers). */
+    unsigned issue_width = 1;
+
+    /** Architectural 32-bit registers in the register file. */
+    unsigned regfile_regs = 16384;
+    /** Single-ported register file banks [19]. */
+    unsigned regfile_banks = 16;
+    /** Operand collector units (two-ported, four-entry). */
+    unsigned operand_collectors = 4;
+
+    /** Instruction buffer slots per warp (associativity). */
+    unsigned ibuffer_slots = 2;
+    /** Instruction cache capacity in bytes. */
+    unsigned icache_bytes = 8192;
+    /** Instruction cache associativity. */
+    unsigned icache_assoc = 4;
+
+    /** Unified SMEM/L1 physical memory in bytes (paper III-C4). */
+    unsigned smem_l1_bytes = 16384;
+    /** Bytes of the unified memory configured as shared memory. */
+    unsigned smem_bytes = 16384;
+    /** Shared memory banks (conflict checker granularity [25]). */
+    unsigned smem_banks = 16;
+    /** L1D associativity (ignored when l1dBytes() == 0). */
+    unsigned l1d_assoc = 4;
+    /** L1D line size in bytes (also the coalescing granularity). */
+    unsigned line_bytes = 128;
+
+    /** Per-core constant cache capacity in bytes. */
+    unsigned const_cache_bytes = 8192;
+    /** Constant cache associativity. */
+    unsigned const_cache_assoc = 4;
+
+    /** Parallel sub-AGUs; each generates 8 addresses/cycle [22]. */
+    unsigned sagu_count = 4;
+    /** False bypasses the coalescer: one memory transaction per
+     *  active lane (ablation knob, see DESIGN.md section5). */
+    bool coalescing = true;
+    /** Warp issue policy: "rr" (rotating priority, the modeled
+     *  hardware [16]) or "gto" (greedy-then-oldest, ablation). */
+    std::string sched_policy = "rr";
+    /** Coalescer pending-request-table entries [24]. */
+    unsigned coalescer_entries = 8;
+    /** Coalescer input/output queue entries. */
+    unsigned coalescer_queue = 8;
+    /** Outstanding global-memory transactions per core (MSHR-like). */
+    unsigned max_pending_mem = 64;
+
+    /** INT pipeline latency, shader cycles. */
+    unsigned int_latency = 10;
+    /** FP pipeline latency, shader cycles. */
+    unsigned fp_latency = 10;
+    /** SFU latency, shader cycles. */
+    unsigned sfu_latency = 20;
+    /** Shared-memory access latency, shader cycles. */
+    unsigned smem_latency = 24;
+    /** L1 / constant-cache hit latency, shader cycles. */
+    unsigned l1_latency = 30;
+
+    /** Maximum in-flight warps per core. */
+    unsigned maxWarps() const { return max_threads / warp_size; }
+    /** L1 data portion of the unified SMEM/L1 memory. */
+    unsigned lOneDBytes() const
+    {
+        return smem_l1_bytes > smem_bytes ? smem_l1_bytes - smem_bytes : 0;
+    }
+};
+
+/** Shared L2 cache (absent on Tesla-class parts, Table II). */
+struct L2Config
+{
+    /** True if the chip has a unified L2. */
+    bool present = false;
+    /** Total capacity in bytes across all slices. */
+    unsigned total_bytes = 0;
+    /** Number of slices (one per memory channel). */
+    unsigned slices = 1;
+    /** Associativity. */
+    unsigned assoc = 8;
+    /** Line size in bytes. */
+    unsigned line_bytes = 128;
+    /** Access latency in uncore cycles. */
+    unsigned latency = 40;
+};
+
+/** Network-on-chip connecting cores to L2/MC (crossbar model). */
+struct NocConfig
+{
+    /** Link width in bits. */
+    unsigned link_bits = 256;
+    /** Per-hop latency in uncore cycles. */
+    unsigned latency = 8;
+};
+
+/** GDDR5 device and channel configuration. */
+struct DramConfig
+{
+    /** Independent memory channels (MC instances). */
+    unsigned channels = 4;
+    /** Data bus width per channel in bits. */
+    unsigned channel_bits = 32;
+    /** DRAM devices (chips) on the card. */
+    unsigned chips = 8;
+    /** Banks per chip. */
+    unsigned banks = 16;
+    /** Row (page) size per bank in bytes. */
+    unsigned row_bytes = 2048;
+    /** Burst length in data-clock edges (GDDR5: 8). */
+    unsigned burst_length = 8;
+    /** Access latency added to an L2/MC miss, uncore cycles. */
+    unsigned latency = 100;
+    /** tRC in DRAM command-clock cycles (row cycle time). */
+    unsigned t_rc = 40;
+
+    /** Supply voltage of the DRAM devices. */
+    double vdd = 1.5;
+    /** Background (standby, banks precharged) current per chip, A. */
+    double idd2n = 0.140;
+    /** Active-standby current per chip (row open), A. */
+    double idd3n = 0.175;
+    /** Activate/precharge current pulse per chip, A. */
+    double idd0 = 0.210;
+    /** Read burst incremental current per chip, A. */
+    double idd4r = 0.500;
+    /** Write burst incremental current per chip, A. */
+    double idd4w = 0.460;
+    /** Refresh burst current per chip, A. */
+    double idd5 = 0.300;
+    /** Refresh interval tREFI in seconds. */
+    double t_refi = 3.9e-6;
+    /** Refresh duration tRFC in seconds. */
+    double t_rfc = 90e-9;
+    /** Output-driver / ODT termination energy per bit, J. */
+    double term_pj_per_bit = 5.5;
+};
+
+/** PCI Express interface controller. */
+struct PcieConfig
+{
+    /** Lane count. */
+    unsigned lanes = 16;
+    /** Per-lane line rate, bit/s (Gen2: 5 GT/s). */
+    double gbps_per_lane = 5.0;
+};
+
+/** Process-technology selection (feeds the tech layer). */
+struct TechConfig
+{
+    /** Feature size in nanometers (e.g. 40). */
+    unsigned node_nm = 40;
+    /** Core supply voltage. */
+    double vdd = 1.05;
+    /** Junction temperature in Kelvin used for leakage. */
+    double temperature = 350.0;
+};
+
+/**
+ * Empirical power-calibration constants (paper SectionIII-D):
+ * energies per executed instruction measured with the differential
+ * lane-enabling microbenchmark, plus the "base power" values for
+ * global scheduler and core clusters derived from Fig. 4, and the
+ * undifferentiated-core residual of Table V.
+ */
+struct PowerCalibConfig
+{
+    /** Energy per integer instruction per lane, pJ (measured ~40). */
+    double int_op_pj = 40.0;
+    /** Energy per FP instruction per lane, pJ (measured ~75). */
+    double fp_op_pj = 75.0;
+    /** Energy per SFU operation, pJ (Caro et al. [21], scaled). */
+    double sfu_op_pj = 400.0;
+    /** Energy per AGU-generated address, pJ. */
+    double agu_addr_pj = 6.0;
+    /** Global work-distribution engine power when active, W. */
+    double global_sched_w = 3.34;
+    /** Additional power when a cluster has >=1 active core, W. */
+    double cluster_base_w = 0.692;
+    /** Per-core dynamic base power while executing, W. */
+    double core_base_dyn_w = 0.199;
+    /** Per-core undifferentiated static power, W (Table V). */
+    double undiff_core_static_w = 0.886;
+    /** Per-core undifferentiated area (ROPs, video, texture), mm^2. */
+    double undiff_core_area_mm2 = 4.5;
+    /** Fraction of dynamic power added as short-circuit power. */
+    double short_circuit_frac = 0.10;
+};
+
+/** Complete description of one simulated GPU card. */
+struct GpuConfig
+{
+    /** Marketing name of the card (e.g. "GeForce GT240"). */
+    std::string name = "GeForce GT240";
+    /** Chip codename (e.g. "GT215"). */
+    std::string chip = "GT215";
+
+    /** Core clusters (TPC/GPC) on the chip. */
+    unsigned clusters = 4;
+    /** SIMT cores per cluster. */
+    unsigned cores_per_cluster = 3;
+
+    ClockConfig clocks;
+    CoreConfig core;
+    L2Config l2;
+    NocConfig noc;
+    DramConfig dram;
+    PcieConfig pcie;
+    TechConfig tech;
+    PowerCalibConfig calib;
+
+    /** Total SIMT cores on the chip. */
+    unsigned numCores() const { return clusters * cores_per_cluster; }
+
+    /** Serialize to the XML configuration format. */
+    std::string toXml() const;
+
+    /** Parse a configuration from XML text; fatal() on schema errors. */
+    static GpuConfig fromXml(const std::string &text);
+
+    /** Parse a configuration from an XML file. */
+    static GpuConfig fromXmlFile(const std::string &path);
+
+    /** Preset: NVIDIA GeForce GT240 (GT215, Tesla-class), Table II. */
+    static GpuConfig gt240();
+
+    /** Preset: NVIDIA GeForce GTX580 (GF110, Fermi-class), Table II. */
+    static GpuConfig gtx580();
+};
+
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_CONFIG_GPU_CONFIG_HH

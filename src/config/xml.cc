@@ -1,0 +1,348 @@
+#include "config/xml.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace gpusimpow {
+namespace xml {
+
+namespace {
+
+/** Recursive-descent parser over a raw document string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &content) : _content(content) {}
+
+    std::unique_ptr<Node>
+    parseDocument()
+    {
+        skipProlog();
+        auto root = parseElement();
+        skipMisc();
+        if (_pos != _content.size())
+            fail("trailing content after root element");
+        return root;
+    }
+
+  private:
+    const std::string &_content;
+    size_t _pos = 0;
+    int _line = 1;
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        fatal("XML parse error at line ", _line, ": ", what);
+    }
+
+    bool atEnd() const { return _pos >= _content.size(); }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : _content[_pos];
+    }
+
+    char
+    get()
+    {
+        if (atEnd())
+            fail("unexpected end of document");
+        char c = _content[_pos++];
+        if (c == '\n')
+            ++_line;
+        return c;
+    }
+
+    bool
+    consume(const std::string &token)
+    {
+        if (_content.compare(_pos, token.size(), token) != 0)
+            return false;
+        for (size_t i = 0; i < token.size(); ++i)
+            get();
+        return true;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd() &&
+               std::isspace(static_cast<unsigned char>(peek()))) {
+            get();
+        }
+    }
+
+    void
+    skipComment()
+    {
+        // Caller consumed "<!--".
+        while (!consume("-->"))
+            get();
+    }
+
+    /** Skip the XML declaration, comments, and whitespace. */
+    void
+    skipProlog()
+    {
+        skipWhitespace();
+        if (consume("<?xml")) {
+            while (!consume("?>"))
+                get();
+        }
+        skipMisc();
+    }
+
+    void
+    skipMisc()
+    {
+        while (true) {
+            skipWhitespace();
+            if (consume("<!--")) {
+                skipComment();
+            } else {
+                break;
+            }
+        }
+    }
+
+    static bool
+    isNameChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '-' || c == '.' || c == ':';
+    }
+
+    std::string
+    parseName()
+    {
+        std::string name;
+        while (!atEnd() && isNameChar(peek()))
+            name.push_back(get());
+        if (name.empty())
+            fail("expected a name");
+        return name;
+    }
+
+    std::string
+    decodeEntities(const std::string &raw)
+    {
+        std::string out;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] != '&') {
+                out.push_back(raw[i]);
+                continue;
+            }
+            size_t semi = raw.find(';', i);
+            if (semi == std::string::npos)
+                fail("unterminated entity reference");
+            std::string entity = raw.substr(i + 1, semi - i - 1);
+            if (entity == "amp")
+                out.push_back('&');
+            else if (entity == "lt")
+                out.push_back('<');
+            else if (entity == "gt")
+                out.push_back('>');
+            else if (entity == "quot")
+                out.push_back('"');
+            else if (entity == "apos")
+                out.push_back('\'');
+            else
+                fail("unknown entity '&" + entity + ";'");
+            i = semi;
+        }
+        return out;
+    }
+
+    void
+    parseAttributes(Node &node)
+    {
+        while (true) {
+            skipWhitespace();
+            if (peek() == '>' || peek() == '/' || peek() == '?')
+                return;
+            std::string key = parseName();
+            skipWhitespace();
+            if (get() != '=')
+                fail("expected '=' after attribute name '" + key + "'");
+            skipWhitespace();
+            char quote = get();
+            if (quote != '"' && quote != '\'')
+                fail("attribute value must be quoted");
+            std::string value;
+            while (peek() != quote)
+                value.push_back(get());
+            get(); // closing quote
+            node.attributes[key] = decodeEntities(value);
+        }
+    }
+
+    std::unique_ptr<Node>
+    parseElement()
+    {
+        if (get() != '<')
+            fail("expected '<'");
+        auto node = std::make_unique<Node>();
+        node->name = parseName();
+        parseAttributes(*node);
+        skipWhitespace();
+        if (consume("/>"))
+            return node;
+        if (get() != '>')
+            fail("expected '>' to close start tag <" + node->name + ">");
+        parseContent(*node);
+        return node;
+    }
+
+    void
+    parseContent(Node &node)
+    {
+        std::string text;
+        while (true) {
+            if (atEnd())
+                fail("unterminated element <" + node.name + ">");
+            if (peek() == '<') {
+                if (consume("<!--")) {
+                    skipComment();
+                    continue;
+                }
+                if (_content.compare(_pos, 2, "</") == 0) {
+                    consume("</");
+                    std::string closing = parseName();
+                    if (closing != node.name) {
+                        fail("mismatched close tag </" + closing +
+                             "> for <" + node.name + ">");
+                    }
+                    skipWhitespace();
+                    if (get() != '>')
+                        fail("expected '>' in close tag");
+                    node.text = trim(decodeEntities(text));
+                    return;
+                }
+                node.children.push_back(parseElement());
+            } else {
+                text.push_back(get());
+            }
+        }
+    }
+};
+
+void
+indentInto(std::ostringstream &oss, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        oss << "  ";
+}
+
+} // namespace
+
+const Node *
+Node::child(const std::string &tag) const
+{
+    for (const auto &c : children) {
+        if (c->name == tag)
+            return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const Node *>
+Node::childrenNamed(const std::string &tag) const
+{
+    std::vector<const Node *> out;
+    for (const auto &c : children) {
+        if (c->name == tag)
+            out.push_back(c.get());
+    }
+    return out;
+}
+
+bool
+Node::hasAttribute(const std::string &key) const
+{
+    return attributes.find(key) != attributes.end();
+}
+
+const std::string &
+Node::attribute(const std::string &key) const
+{
+    auto it = attributes.find(key);
+    if (it == attributes.end())
+        fatal("element <", name, "> is missing attribute '", key, "'");
+    return it->second;
+}
+
+std::string
+Node::attributeOr(const std::string &key, const std::string &dflt) const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? dflt : it->second;
+}
+
+std::string
+Node::toString(int indent) const
+{
+    std::ostringstream oss;
+    indentInto(oss, indent);
+    oss << "<" << name;
+    for (const auto &[key, value] : attributes)
+        oss << " " << key << "=\"" << escape(value) << "\"";
+    if (children.empty() && text.empty()) {
+        oss << "/>\n";
+        return oss.str();
+    }
+    oss << ">";
+    if (!text.empty())
+        oss << escape(text);
+    if (!children.empty()) {
+        oss << "\n";
+        for (const auto &c : children)
+            oss << c->toString(indent + 1);
+        indentInto(oss, indent);
+    }
+    oss << "</" << name << ">\n";
+    return oss.str();
+}
+
+std::unique_ptr<Node>
+parse(const std::string &content)
+{
+    Parser parser(content);
+    return parser.parseDocument();
+}
+
+std::unique_ptr<Node>
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open XML file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parse(oss.str());
+}
+
+std::string
+escape(const std::string &raw)
+{
+    std::string out;
+    for (char c : raw) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace xml
+} // namespace gpusimpow

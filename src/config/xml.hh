@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A dependency-free parser for the XML subset GPUSimPow uses as its
+ * configuration interface (the paper, SectionIII-A: "the key
+ * parameters of the simulated architecture are supplied using a
+ * simple XML-based interface").
+ *
+ * Supported: the XML declaration, comments, nested elements,
+ * attributes (single or double quoted), character data, self-closing
+ * tags, and the five predefined entities. Not supported (and not
+ * needed for configuration files): DTDs, namespaces, CDATA sections,
+ * processing instructions beyond the declaration.
+ */
+
+#ifndef GPUSIMPOW_CONFIG_XML_HH
+#define GPUSIMPOW_CONFIG_XML_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+namespace xml {
+
+/** One element node of a parsed XML document. */
+class Node
+{
+  public:
+    /** Tag name of this element. */
+    std::string name;
+    /** Attribute key/value pairs, document order not preserved. */
+    std::map<std::string, std::string> attributes;
+    /** Concatenated character data directly inside this element. */
+    std::string text;
+    /** Child elements in document order. */
+    std::vector<std::unique_ptr<Node>> children;
+
+    /** First child with the given tag, or nullptr. */
+    const Node *child(const std::string &tag) const;
+
+    /** All children with the given tag. */
+    std::vector<const Node *> childrenNamed(const std::string &tag) const;
+
+    /** True if an attribute with this key exists. */
+    bool hasAttribute(const std::string &key) const;
+
+    /**
+     * Attribute value; fatal() if missing.
+     * @param key attribute name
+     */
+    const std::string &attribute(const std::string &key) const;
+
+    /** Attribute value or a default when the key is absent. */
+    std::string attributeOr(const std::string &key,
+                            const std::string &dflt) const;
+
+    /** Serialize this subtree as indented XML. */
+    std::string toString(int indent = 0) const;
+};
+
+/**
+ * Parse an XML document from a string.
+ * @param content full document text
+ * @return root element
+ *
+ * Reports malformed input via fatal() with a line number.
+ */
+std::unique_ptr<Node> parse(const std::string &content);
+
+/** Parse an XML document from a file; fatal() if unreadable. */
+std::unique_ptr<Node> parseFile(const std::string &path);
+
+/** Escape the five predefined entities for serialization. */
+std::string escape(const std::string &raw);
+
+} // namespace xml
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_CONFIG_XML_HH

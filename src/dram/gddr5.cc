@@ -1,0 +1,164 @@
+#include "dram/gddr5.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace dram {
+
+DramActivity &
+DramActivity::operator+=(const DramActivity &o)
+{
+    activates += o.activates;
+    read_bursts += o.read_bursts;
+    write_bursts += o.write_bursts;
+    // Weight the open fraction by interval length.
+    double total = elapsed_s + o.elapsed_s;
+    if (total > 0.0) {
+        row_open_frac = (row_open_frac * elapsed_s +
+                         o.row_open_frac * o.elapsed_s) / total;
+    }
+    elapsed_s = total;
+    return *this;
+}
+
+Gddr5Power::Gddr5Power(const DramConfig &cfg, double dram_hz)
+    : _cfg(cfg), _dram_hz(dram_hz)
+{
+    GSP_ASSERT(dram_hz > 0.0, "DRAM clock must be positive");
+}
+
+DramPowerBreakdown
+Gddr5Power::compute(const DramActivity &activity) const
+{
+    DramPowerBreakdown out;
+    const double chips = static_cast<double>(_cfg.chips);
+    const double vdd = _cfg.vdd;
+
+    // Background: precharged standby (IDD2N) blended with active
+    // standby (IDD3N) by the row-open fraction (Micron methodology).
+    double idd_bg = _cfg.idd2n +
+                    (_cfg.idd3n - _cfg.idd2n) * activity.row_open_frac;
+    out.background = chips * idd_bg * vdd;
+
+    // Refresh: extra current during tRFC every tREFI.
+    out.refresh = chips * (_cfg.idd5 - _cfg.idd2n) * vdd *
+                  (_cfg.t_rfc / _cfg.t_refi);
+
+    if (activity.elapsed_s <= 0.0)
+        return out;
+
+    // Activate: each ACT/PRE pair costs (IDD0-IDD3N)*VDD for tRC.
+    double t_rc_s = static_cast<double>(_cfg.t_rc) / _dram_hz;
+    double e_act = (_cfg.idd0 - _cfg.idd3n) * vdd * t_rc_s;
+    out.activate = static_cast<double>(activity.activates) * e_act /
+                   activity.elapsed_s;
+
+    // Read/write: incremental burst current for the burst duration.
+    // One burst moves burst_length beats on the channel; the data
+    // clock runs at 4x the command clock for GDDR5.
+    double burst_s = static_cast<double>(_cfg.burst_length) /
+                     (4.0 * _dram_hz);
+    // The burst current is per chip, but only the chips on this
+    // channel burst; spread over all chips it averages out, so use
+    // the per-channel chip share directly.
+    double chips_per_channel = chips / static_cast<double>(_cfg.channels);
+    double e_rd = (_cfg.idd4r - _cfg.idd3n) * vdd * burst_s *
+                  chips_per_channel;
+    double e_wr = (_cfg.idd4w - _cfg.idd3n) * vdd * burst_s *
+                  chips_per_channel;
+    out.read_write =
+        (static_cast<double>(activity.read_bursts) * e_rd +
+         static_cast<double>(activity.write_bursts) * e_wr) /
+        activity.elapsed_s;
+
+    // Termination: per-bit I/O energy on every transferred bit.
+    double bits_per_burst = static_cast<double>(_cfg.burst_length) *
+                            _cfg.channel_bits;
+    double total_bits =
+        static_cast<double>(activity.read_bursts + activity.write_bursts) *
+        bits_per_burst;
+    out.termination = total_bits * _cfg.term_pj_per_bit * 1e-12 /
+                      activity.elapsed_s;
+
+    return out;
+}
+
+double
+Gddr5Power::idlePower() const
+{
+    DramActivity idle;
+    idle.row_open_frac = 0.0;
+    idle.elapsed_s = 1.0;
+    DramPowerBreakdown b = compute(idle);
+    return b.background + b.refresh;
+}
+
+DramChannel::DramChannel(const DramConfig &cfg) : _cfg(cfg)
+{
+    GSP_ASSERT(cfg.banks > 0, "channel needs banks");
+    _banks.resize(cfg.banks);
+    // GDDR5 transfers burst_length beats at 4 beats per command
+    // cycle.
+    _burst_cycles = std::max(1u, cfg.burst_length / 4);
+}
+
+uint64_t
+DramChannel::access(uint64_t addr, bool write, uint64_t now_cycles)
+{
+    uint64_t row_addr = addr / _cfg.row_bytes;
+    unsigned bank_idx = static_cast<unsigned>(row_addr % _cfg.banks);
+    int64_t row = static_cast<int64_t>(row_addr / _cfg.banks);
+    Bank &bank = _banks[bank_idx];
+
+    uint64_t t = std::max(now_cycles, bank.next_free);
+
+    if (bank.open_row != row) {
+        // Precharge (if a row was open) then activate the new row.
+        if (bank.open_row >= 0)
+            t += _t_rp;
+        t += _t_rcd;
+        bank.open_row = row;
+        ++_activates;
+    } else {
+        ++_row_hits;
+    }
+
+    // Column access; data bus is shared across banks.
+    uint64_t data_start = std::max(t + _t_cas, _bus_next_free);
+    uint64_t data_end = data_start + _burst_cycles;
+    _bus_next_free = data_end;
+    bank.next_free = t + _burst_cycles;
+
+    _bus_busy_cycles += _burst_cycles;
+    if (write)
+        ++_write_bursts;
+    else
+        ++_read_bursts;
+
+    return data_end;
+}
+
+void
+DramChannel::resetCounters()
+{
+    _activates = 0;
+    _row_hits = 0;
+    _read_bursts = 0;
+    _write_bursts = 0;
+    _bus_busy_cycles = 0;
+}
+
+void
+DramChannel::resetTiming()
+{
+    for (Bank &bank : _banks) {
+        bank.next_free = 0;
+        bank.open_row = -1;
+    }
+    _bus_next_free = 0;
+}
+
+} // namespace dram
+} // namespace gpusimpow

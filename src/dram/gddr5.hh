@@ -1,0 +1,152 @@
+/**
+ * @file
+ * GDDR5 graphics-DRAM model: a per-channel bank-state timing machine
+ * used by the performance simulator's memory controllers, and the
+ * power model of the paper's SectionIII-C5 — "The power consumed by
+ * typical DDR or GDDR chips can be divided into background, activate,
+ * read/write, termination, and refresh power" — computed with the
+ * Micron methodology from datasheet-style IDD currents.
+ */
+
+#ifndef GPUSIMPOW_DRAM_GDDR5_HH
+#define GPUSIMPOW_DRAM_GDDR5_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config/gpu_config.hh"
+
+namespace gpusimpow {
+namespace dram {
+
+/** Activity of the whole DRAM subsystem over an interval. */
+struct DramActivity
+{
+    /** Row activations (ACT/PRE pairs) across all channels. */
+    uint64_t activates = 0;
+    /** Read bursts (one burst = burst_length beats). */
+    uint64_t read_bursts = 0;
+    /** Write bursts. */
+    uint64_t write_bursts = 0;
+    /** Fraction of time at least one row is open, 0..1. */
+    double row_open_frac = 0.0;
+    /** Interval length in seconds. */
+    double elapsed_s = 0.0;
+
+    DramActivity &operator+=(const DramActivity &o);
+};
+
+/** Per-component DRAM power (W), the decomposition of [26]. */
+struct DramPowerBreakdown
+{
+    double background = 0.0;
+    double activate = 0.0;
+    double read_write = 0.0;
+    double termination = 0.0;
+    double refresh = 0.0;
+
+    /** Sum of all components, W. */
+    double total() const
+    {
+        return background + activate + read_write + termination + refresh;
+    }
+};
+
+/**
+ * DRAM power calculator for the full set of devices on the card.
+ * Stateless; give it an activity record and it returns watts.
+ */
+class Gddr5Power
+{
+  public:
+    /**
+     * @param cfg device and channel configuration
+     * @param dram_hz command-clock frequency
+     */
+    Gddr5Power(const DramConfig &cfg, double dram_hz);
+
+    /** Power breakdown for an activity interval. */
+    DramPowerBreakdown compute(const DramActivity &activity) const;
+
+    /** Background + refresh power of the idle device array, W. */
+    double idlePower() const;
+
+  private:
+    DramConfig _cfg;
+    double _dram_hz;
+};
+
+/**
+ * Timing model of one GDDR5 channel: banks with open-row tracking, a
+ * shared data bus, and fixed tRP/tRCD/tCAS command timing. The
+ * memory controller calls access() in DRAM command-clock cycles and
+ * receives the completion time; activity counters feed Gddr5Power.
+ */
+class DramChannel
+{
+  public:
+    /**
+     * @param cfg device configuration (banks, row size, timing)
+     */
+    explicit DramChannel(const DramConfig &cfg);
+
+    /**
+     * Issue one burst-sized access.
+     * @param addr channel-local byte address
+     * @param write true for a write burst
+     * @param now_cycles current time in DRAM command cycles
+     * @return completion time in DRAM command cycles
+     */
+    uint64_t access(uint64_t addr, bool write, uint64_t now_cycles);
+
+    /** Row activations so far. */
+    uint64_t activates() const { return _activates; }
+    /** Row-buffer hits so far. */
+    uint64_t rowHits() const { return _row_hits; }
+    /** Read bursts so far. */
+    uint64_t readBursts() const { return _read_bursts; }
+    /** Write bursts so far. */
+    uint64_t writeBursts() const { return _write_bursts; }
+    /** Cycles the data bus was transferring. */
+    uint64_t busBusyCycles() const { return _bus_busy_cycles; }
+    /** Last cycle at which any bank is busy. */
+    uint64_t lastBusyCycle() const { return _bus_next_free; }
+
+    /** Reset activity counters (bank state is kept). */
+    void resetCounters();
+
+    /**
+     * Reset the timing state (bank/bus next-free times and open
+     * rows). Must be called when the controller's clock restarts
+     * from zero, i.e. between kernels.
+     */
+    void resetTiming();
+
+  private:
+    struct Bank
+    {
+        int64_t open_row = -1;
+        uint64_t next_free = 0;
+    };
+
+    DramConfig _cfg;
+    std::vector<Bank> _banks;
+    uint64_t _bus_next_free = 0;
+
+    uint64_t _activates = 0;
+    uint64_t _row_hits = 0;
+    uint64_t _read_bursts = 0;
+    uint64_t _write_bursts = 0;
+    uint64_t _bus_busy_cycles = 0;
+
+    // Command timing in command-clock cycles.
+    unsigned _t_rcd = 12;
+    unsigned _t_rp = 12;
+    unsigned _t_cas = 12;
+    unsigned _burst_cycles = 2;
+};
+
+} // namespace dram
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_DRAM_GDDR5_HH

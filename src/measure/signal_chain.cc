@@ -1,0 +1,84 @@
+#include "measure/signal_chain.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace measure {
+
+double
+quantize(double v, double range, unsigned bits)
+{
+    double lsb = 2.0 * range / static_cast<double>(1u << bits);
+    double clamped = v > range ? range : (v < -range ? -range : v);
+    return std::round(clamped / lsb) * lsb;
+}
+
+RailChannel::RailChannel(const RailSpec &rail, const ChainSpec &spec,
+                         SplitMix64 &rng)
+    : _rail(rail), _spec(spec)
+{
+    // Scale the nominal rail voltage into ~80 % of the DAQ range.
+    _divider_ratio = (0.8 * spec.daq_range) / rail.nominal_v;
+    // Fixed (per physical board) tolerance draws, uniform within the
+    // datasheet bounds.
+    _divider_gain_err = 1.0 + rng.uniform(-spec.divider_gain_tol,
+                                          spec.divider_gain_tol);
+    _shunt_gain_err = 1.0 + rng.uniform(-spec.ad8210_gain_tol,
+                                        spec.ad8210_gain_tol);
+    _shunt_offset_v = rng.uniform(-spec.ad8210_offset_tol,
+                                  spec.ad8210_offset_tol);
+    _daq_gain_err = 1.0 + rng.uniform(-spec.daq_gain_tol,
+                                      spec.daq_gain_tol);
+    _daq_offset_v = rng.uniform(-spec.daq_offset_tol,
+                                spec.daq_offset_tol);
+}
+
+double
+RailChannel::measureVoltage(double v_true) const
+{
+    double at_daq = v_true * _divider_ratio * _divider_gain_err;
+    double read = quantize(at_daq * _daq_gain_err + _daq_offset_v,
+                           _spec.daq_range, _spec.daq_bits);
+    // The tool divides by the *nominal* divider ratio — it cannot
+    // know the board's actual gain error; that is what makes the
+    // +-1.7 % systematic error of the paper appear.
+    return read / _divider_ratio;
+}
+
+double
+RailChannel::measureCurrent(double i_true) const
+{
+    double v_shunt = i_true * _rail.sense_ohm;
+    double at_daq = v_shunt * _spec.ad8210_gain * _shunt_gain_err +
+                    _shunt_offset_v;
+    double read = quantize(at_daq * _daq_gain_err + _daq_offset_v,
+                           _spec.daq_range, _spec.daq_bits);
+    return read / (_spec.ad8210_gain * _rail.sense_ohm);
+}
+
+double
+RailChannel::powerErrorBound() const
+{
+    // Voltage path: divider +- DAQ gains; current path: AD8210 +-
+    // DAQ gains. Power multiplies both (SectionIV-A arrives at
+    // +-3.2 % the same way).
+    double v_err = _spec.divider_gain_tol + _spec.daq_gain_tol;
+    double i_err = _spec.ad8210_gain_tol + _spec.daq_gain_tol;
+    return v_err + i_err;
+}
+
+double
+Trace::powerAt(size_t i) const
+{
+    GSP_ASSERT(i < samples.size(), "trace sample out of range");
+    const RailSample &s = samples[i];
+    double p = 0.0;
+    for (size_t r = 0; r < s.volts.size(); ++r)
+        p += s.volts[r] * s.amps[r];
+    return p;
+}
+
+} // namespace measure
+} // namespace gpusimpow

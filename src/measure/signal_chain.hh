@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The analog measurement chain of the paper's testbed (SectionIV-A):
+ * 20 mOhm sense resistors on the PCIe-slot 12 V / 3.3 V rails (on a
+ * riser card) and 10 mOhm resistors in the external PCIe power
+ * cables, AD8210 current-shunt monitors (gain 20 V/V, +-0.5 % gain
+ * error, +-1 mV output offset), 1 %-resistor voltage dividers
+ * (+-1.7 % gain accuracy, no offset), and an NI USB-6210 DAQ
+ * sampling at 31.2 kHz (+-0.0085 % gain, 0.1 mV offset, 16-bit over
+ * +-5 V). Each instance draws its tolerance errors deterministically
+ * from a seed, so a given "physical" testbed build has fixed,
+ * reproducible systematic errors — exactly like real hardware.
+ */
+
+#ifndef GPUSIMPOW_MEASURE_SIGNAL_CHAIN_HH
+#define GPUSIMPOW_MEASURE_SIGNAL_CHAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace gpusimpow {
+namespace measure {
+
+/** Datasheet limits of the chain components. */
+struct ChainSpec
+{
+    /** AD8210 fixed gain, V/V. */
+    double ad8210_gain = 20.0;
+    /** AD8210 gain tolerance (fraction). */
+    double ad8210_gain_tol = 0.005;
+    /** AD8210 output offset bound, V. */
+    double ad8210_offset_tol = 1e-3;
+    /** Divider gain tolerance (fraction; built from 1% resistors). */
+    double divider_gain_tol = 0.017;
+    /** DAQ gain tolerance (fraction). */
+    double daq_gain_tol = 0.000085;
+    /** DAQ offset bound, V. */
+    double daq_offset_tol = 1e-4;
+    /** DAQ full-scale range, V. */
+    double daq_range = 5.0;
+    /** DAQ resolution, bits. */
+    unsigned daq_bits = 16;
+    /** DAQ sample rate, Hz (per channel as configured). */
+    double sample_rate_hz = 31200.0;
+};
+
+/** One monitored supply rail. */
+struct RailSpec
+{
+    /** Rail name ("12V-slot", "3.3V-slot", "12V-aux0", ...). */
+    std::string name;
+    /** Nominal rail voltage, V. */
+    double nominal_v = 12.0;
+    /** Sense resistor, ohm (20 mOhm slot, 10 mOhm cables). */
+    double sense_ohm = 0.020;
+    /** Fraction of card power carried by this rail. */
+    double share = 1.0;
+};
+
+/** 16-bit quantizer of the DAQ input range. */
+double quantize(double v, double range, unsigned bits);
+
+/**
+ * The signal path for one rail: a voltage channel through the
+ * resistive divider and a current channel through the shunt+AD8210,
+ * both sampled by the DAQ. Gain/offset errors are drawn once at
+ * construction (a physical board's fixed errors).
+ */
+class RailChannel
+{
+  public:
+    /**
+     * @param rail rail description
+     * @param spec chain component limits
+     * @param rng seeded error source (advanced per drawn value)
+     */
+    RailChannel(const RailSpec &rail, const ChainSpec &spec,
+                SplitMix64 &rng);
+
+    /** Measured voltage for a true rail voltage, V. */
+    double measureVoltage(double v_true) const;
+
+    /** Measured current for a true rail current, A. */
+    double measureCurrent(double i_true) const;
+
+    /** Worst-case fractional power error of this channel pair. */
+    double powerErrorBound() const;
+
+    const RailSpec &rail() const { return _rail; }
+
+  private:
+    RailSpec _rail;
+    ChainSpec _spec;
+    double _divider_ratio;    // scales nominal into 0..5 V
+    double _divider_gain_err; // multiplicative
+    double _shunt_gain_err;   // multiplicative (AD8210)
+    double _shunt_offset_v;   // at AD8210 output
+    double _daq_gain_err;
+    double _daq_offset_v;
+};
+
+/** One DAQ sample of every rail (V, I pairs). */
+struct RailSample
+{
+    double time_s = 0.0;
+    std::vector<double> volts;
+    std::vector<double> amps;
+};
+
+/** A recorded trace: per-rail samples at the DAQ rate. */
+struct Trace
+{
+    std::vector<RailSample> samples;
+    double sample_rate_hz = 31200.0;
+
+    /** Total measured card power at sample i, W. */
+    double powerAt(size_t i) const;
+};
+
+} // namespace measure
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_MEASURE_SIGNAL_CHAIN_HH

@@ -1,0 +1,127 @@
+#include "measure/testbed.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace measure {
+
+Testbed::Testbed(const GpuConfig &cfg, uint64_t seed)
+    : _cfg(cfg), _noise(seed ^ 0x7e57bed)
+{
+    SplitMix64 rng(seed);
+    // Slot rails through the riser card (20 mOhm shunts). The split
+    // between rails is a card-design property.
+    bool has_aux = !cfg.l2.present ? false : true;
+    if (!has_aux) {
+        _channels.emplace_back(
+            RailSpec{"12V-slot", 12.0, 0.020, 0.82}, _spec, rng);
+        _channels.emplace_back(
+            RailSpec{"3.3V-slot", 3.3, 0.020, 0.18}, _spec, rng);
+    } else {
+        // High-end card: two external PCIe power cables carry most
+        // of the load (10 mOhm shunts in the cables, SectionIV-A).
+        _channels.emplace_back(
+            RailSpec{"12V-slot", 12.0, 0.020, 0.24}, _spec, rng);
+        _channels.emplace_back(
+            RailSpec{"3.3V-slot", 3.3, 0.020, 0.05}, _spec, rng);
+        _channels.emplace_back(
+            RailSpec{"12V-aux0", 12.0, 0.010, 0.36}, _spec, rng);
+        _channels.emplace_back(
+            RailSpec{"12V-aux1", 12.0, 0.010, 0.35}, _spec, rng);
+    }
+}
+
+Trace
+Testbed::record(const std::function<double(double)> &true_power_w,
+                double duration_s, double supply_tau_s) const
+{
+    GSP_ASSERT(duration_s > 0.0, "empty recording");
+    Trace trace;
+    trace.sample_rate_hz = _spec.sample_rate_hz;
+    auto n = static_cast<size_t>(duration_s * _spec.sample_rate_hz);
+    trace.samples.reserve(n);
+
+    double dt = 1.0 / _spec.sample_rate_hz;
+    double filtered = true_power_w(0.0);
+    double alpha =
+        supply_tau_s > 0.0 ? 1.0 - std::exp(-dt / supply_tau_s) : 1.0;
+
+    for (size_t i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) * dt;
+        // Input filter of the card (bulk capacitance at the VRM).
+        filtered += alpha * (true_power_w(t) - filtered);
+        // Small wideband supply noise.
+        double noisy = filtered * (1.0 + 0.002 * _noise.nextGaussian());
+
+        RailSample s;
+        s.time_s = t;
+        for (const RailChannel &ch : _channels) {
+            double p_rail = noisy * ch.rail().share;
+            double v_true =
+                ch.rail().nominal_v * (1.0 + 0.004 * _noise.nextGaussian());
+            double i_true = p_rail / v_true;
+            s.volts.push_back(ch.measureVoltage(v_true));
+            s.amps.push_back(ch.measureCurrent(i_true));
+        }
+        trace.samples.push_back(std::move(s));
+    }
+    return trace;
+}
+
+KernelMeasurement
+Testbed::analyze(const Trace &trace, double start_s, double end_s)
+{
+    GSP_ASSERT(end_s > start_s, "empty kernel window");
+    KernelMeasurement m;
+    m.duration_s = end_s - start_s;
+    double sum = 0.0;
+    for (size_t i = 0; i < trace.samples.size(); ++i) {
+        double t = trace.samples[i].time_s;
+        if (t < start_s || t >= end_s)
+            continue;
+        sum += trace.powerAt(i);
+        ++m.samples;
+    }
+    if (m.samples > 0) {
+        m.avg_power_w = sum / m.samples;
+    } else {
+        // Window shorter than a DAQ period: fall back to the sample
+        // nearest the window center (what an operator would read).
+        double center = 0.5 * (start_s + end_s);
+        size_t idx = std::min(
+            trace.samples.size() - 1,
+            static_cast<size_t>(center * trace.sample_rate_hz));
+        m.avg_power_w = trace.powerAt(idx);
+    }
+    m.energy_j = m.avg_power_w * m.duration_s;
+    return m;
+}
+
+double
+Testbed::errorBound() const
+{
+    double worst = 0.0;
+    for (const RailChannel &ch : _channels)
+        worst = std::max(worst, ch.powerErrorBound());
+    return worst;
+}
+
+double
+extrapolateStatic(double p_stock_w, double p_scaled_w, double scale)
+{
+    GSP_ASSERT(scale > 0.0 && scale < 1.0, "bad frequency scale");
+    // P(f) = S + k*f  =>  S = (P(s*f) - s*P(f)) / (1 - s).
+    return (p_scaled_w - scale * p_stock_w) / (1.0 - scale);
+}
+
+double
+idleRatioStatic(double pre_kernel_power_w, double reference_ratio)
+{
+    return pre_kernel_power_w * reference_ratio;
+}
+
+} // namespace measure
+} // namespace gpusimpow

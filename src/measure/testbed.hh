@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The complete measurement testbed of SectionIV-A: the rail set of
+ * the card under test (slot rails through the riser card's 20 mOhm
+ * shunts, external PCIe cables through 10 mOhm shunts for cards that
+ * have aux connectors), the per-rail signal chains, the DAQ-rate
+ * trace recorder (including the card's input-filter time constant),
+ * the kernel-window analysis tool driven by profiler timestamps, and
+ * the two static-power estimation methods of SectionIV-B.
+ */
+
+#ifndef GPUSIMPOW_MEASURE_TESTBED_HH
+#define GPUSIMPOW_MEASURE_TESTBED_HH
+
+#include <functional>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "measure/signal_chain.hh"
+
+namespace gpusimpow {
+namespace measure {
+
+/** Result of analyzing one kernel window of a trace. */
+struct KernelMeasurement
+{
+    /** Average card power over the window, W. */
+    double avg_power_w = 0.0;
+    /** Energy consumed over the window, J. */
+    double energy_j = 0.0;
+    /** Window duration, s. */
+    double duration_s = 0.0;
+    /** DAQ samples inside the window. */
+    unsigned samples = 0;
+};
+
+/** The instrumented riser + DAQ setup for one card. */
+class Testbed
+{
+  public:
+    /**
+     * @param cfg card under test (determines the rail set)
+     * @param seed physical-board tolerance seed
+     */
+    Testbed(const GpuConfig &cfg, uint64_t seed);
+
+    /** The monitored rails (2 slot rails; +2 cables on big cards). */
+    const std::vector<RailChannel> &channels() const { return _channels; }
+
+    /**
+     * Record a trace of a power waveform at the DAQ rate.
+     * @param true_power_w card input power as a function of time
+     * @param duration_s recording length
+     * @param supply_tau_s card input-filter time constant (smears
+     *        fast transients; 0 disables)
+     */
+    Trace record(const std::function<double(double)> &true_power_w,
+                 double duration_s, double supply_tau_s = 0.0) const;
+
+    /**
+     * Average power / energy over a kernel window identified by
+     * profiler timestamps (the paper's measurement tool).
+     */
+    static KernelMeasurement analyze(const Trace &trace, double start_s,
+                                     double end_s);
+
+    /** Worst-case fractional power error of the chain (~3.2 %). */
+    double errorBound() const;
+
+  private:
+    GpuConfig _cfg;
+    ChainSpec _spec;
+    std::vector<RailChannel> _channels;
+    mutable SplitMix64 _noise;
+};
+
+/**
+ * Static power by frequency extrapolation (SectionIV-B): measure
+ * the same kernel at stock clock and at `scale` x stock, extrapolate
+ * linearly to 0 Hz.
+ * @param p_stock_w average power at stock frequency
+ * @param p_scaled_w average power at the reduced frequency
+ * @param scale frequency ratio (the paper uses 0.8)
+ */
+double extrapolateStatic(double p_stock_w, double p_scaled_w,
+                         double scale);
+
+/**
+ * Static power by the idle-ratio method the paper uses for the
+ * GTX580 (clock changes unsupported by the driver): multiply the
+ * between-kernels idle power by the static/idle ratio observed on
+ * the GT240.
+ */
+double idleRatioStatic(double pre_kernel_power_w,
+                       double reference_ratio);
+
+} // namespace measure
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_MEASURE_TESTBED_HH

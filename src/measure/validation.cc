@@ -1,0 +1,153 @@
+#include "measure/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace measure {
+
+namespace {
+
+// Static/idle ratio observed on the reference (GT240-class) card,
+// reused for cards whose driver cannot change clocks (SectionIV-B).
+constexpr double reference_idle_ratio = 0.9026;
+
+// Kernels shorter than this are executed 100 times back to back
+// (SectionIV-C).
+constexpr double repeat_threshold_s = 500e-6;
+constexpr unsigned repeat_count = 100;
+
+// Lead-in/out of the recording around the kernel window.
+constexpr double lead_s = 2e-3;
+constexpr double tail_s = 1e-3;
+
+} // namespace
+
+ValidationHarness::ValidationHarness(const GpuConfig &cfg,
+                                     double model_static_w,
+                                     uint64_t seed)
+    : _cfg(cfg), _hw(cfg, model_static_w, seed), _testbed(cfg, seed)
+{
+}
+
+double
+ValidationHarness::measureSteady(const std::string &label,
+                                 double model_dyn_w,
+                                 double model_dram_w,
+                                 double clock_scale)
+{
+    double level = _hw.cardPower(label, model_dyn_w, model_dram_w,
+                                 clock_scale);
+    Trace trace = _testbed.record(
+        [&](double t) {
+            return t < 1e-3 ? _hw.preKernelPower() : level;
+        },
+        21e-3, _hw.supplyTau());
+    return Testbed::analyze(trace, 5e-3, 21e-3).avg_power_w;
+}
+
+double
+ValidationHarness::measuredStatic()
+{
+    if (_meas_static_w >= 0.0)
+        return _meas_static_w;
+
+    if (!_cfg.l2.present) {
+        // Tesla-class: the driver allows clock changes. Run a steady
+        // reference workload at stock and at 80 % clock and
+        // extrapolate to 0 Hz. Dynamic power scales with frequency;
+        // static does not.
+        const double ref_dyn_w = 11.0;
+        const double ref_dram_w = 2.5;
+        double p_stock =
+            measureSteady("staticRef", ref_dyn_w, ref_dram_w, 1.0);
+        double p_scaled =
+            measureSteady("staticRef", ref_dyn_w, ref_dram_w, 0.8);
+        // The card-level measurement includes the DRAM devices;
+        // subtract their (clock-independent) contribution the same
+        // way the paper's methodology implicitly does by probing the
+        // GPU rails.
+        double static_est = extrapolateStatic(p_stock, p_scaled, 0.8);
+        double dram_truth = 0.95 * ref_dram_w;
+        _meas_static_w = static_est - dram_truth;
+    } else {
+        // Fermi-class: no clock control; idle-ratio method.
+        Trace trace = _testbed.record(
+            [&](double t) {
+                (void)t;
+                return _hw.preKernelPower();
+            },
+            20e-3, _hw.supplyTau());
+        double idle = Testbed::analyze(trace, 1e-3, 20e-3).avg_power_w;
+        _meas_static_w = idleRatioStatic(idle, reference_idle_ratio);
+    }
+    return _meas_static_w;
+}
+
+KernelValidation
+ValidationHarness::validate(const std::string &label,
+                            const KernelRun &run, bool repeatable)
+{
+    GSP_ASSERT(!run.trace.empty(),
+               "validation needs a traced simulation (with_trace)");
+
+    KernelValidation v;
+    v.label = label;
+    v.sim_static_w = run.report.staticPower();
+    v.sim_dynamic_w = run.report.dynamicPower();
+    v.sim_dram_w = run.report.dram_w;
+    v.kernel_s = run.perf.time_s;
+
+    v.repeats = 1;
+    if (repeatable && v.kernel_s < repeat_threshold_s) {
+        // The paper re-runs short kernels 100 times; our scaled-down
+        // data sets make kernels shorter still, so repeat until the
+        // window is long against the supply filter and the DAQ rate.
+        double min_window_s = 8e-3;
+        auto needed = static_cast<unsigned>(min_window_s / v.kernel_s);
+        v.repeats = std::max(repeat_count, needed);
+    }
+
+    // Precompute the per-sample modeled dynamic/DRAM waveform.
+    const auto &trace = run.trace;
+    double kernel_dur = v.kernel_s;
+    double window_s = kernel_dur * v.repeats;
+
+    auto card_power = [&](double t) -> double {
+        if (t < lead_s || t >= lead_s + window_s)
+            return _hw.preKernelPower();
+        double phase = std::fmod(t - lead_s, kernel_dur);
+        // Locate the simulator sample containing this phase.
+        size_t lo = 0;
+        size_t hi = trace.size();
+        while (lo + 1 < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (trace[mid].t0 <= phase)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        const PowerSample &s = trace[lo];
+        return _hw.cardPower(label, s.dynamic_w, s.dram_w);
+    };
+
+    double duration = lead_s + window_s + tail_s;
+    Trace recorded =
+        _testbed.record(card_power, duration, _hw.supplyTau());
+    // The profiler clock and the DAQ clock are not synchronized; the
+    // kernel window lands ~1.5 sample periods early relative to the
+    // waveform. Irrelevant for long windows, it biases very short
+    // non-repeatable kernels low — the paper's mergeSort3 artifact.
+    double misalign = 1.5 / recorded.sample_rate_hz;
+    KernelMeasurement m = Testbed::analyze(
+        recorded, lead_s - misalign, lead_s + window_s - misalign);
+
+    v.meas_static_w = measuredStatic();
+    v.meas_dynamic_w = m.avg_power_w - v.meas_static_w;
+    return v;
+}
+
+} // namespace measure
+} // namespace gpusimpow

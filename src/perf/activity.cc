@@ -1,0 +1,95 @@
+#include "perf/activity.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+CoreActivity &
+CoreActivity::operator+=(const CoreActivity &o)
+{
+#define X(name) name += o.name;
+    GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    return *this;
+}
+
+CoreActivity
+CoreActivity::operator-(const CoreActivity &o) const
+{
+    CoreActivity r;
+#define X(name) r.name = name - o.name;
+    GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    return r;
+}
+
+MemActivity &
+MemActivity::operator+=(const MemActivity &o)
+{
+#define X(name) name += o.name;
+    GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    return *this;
+}
+
+MemActivity
+MemActivity::operator-(const MemActivity &o) const
+{
+    MemActivity r;
+#define X(name) r.name = name - o.name;
+    GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    return r;
+}
+
+ChipActivity
+ChipActivity::diff(const ChipActivity &prev) const
+{
+    GSP_ASSERT(cores.size() == prev.cores.size(),
+               "activity snapshots of different GPUs");
+    ChipActivity r;
+    r.cores.resize(cores.size());
+    for (size_t i = 0; i < cores.size(); ++i)
+        r.cores[i] = cores[i] - prev.cores[i];
+    r.mem = mem - prev.mem;
+    r.cluster_busy_cycles.resize(cluster_busy_cycles.size());
+    for (size_t i = 0; i < cluster_busy_cycles.size(); ++i) {
+        r.cluster_busy_cycles[i] =
+            cluster_busy_cycles[i] - prev.cluster_busy_cycles[i];
+    }
+    r.gpu_busy_cycles = gpu_busy_cycles - prev.gpu_busy_cycles;
+    r.blocks_dispatched = blocks_dispatched - prev.blocks_dispatched;
+    r.shader_cycles = shader_cycles - prev.shader_cycles;
+    r.elapsed_s = elapsed_s - prev.elapsed_s;
+    return r;
+}
+
+std::string
+ChipActivity::format() const
+{
+    std::ostringstream oss;
+    oss << "shader_cycles " << shader_cycles << "\n";
+    oss << "elapsed_s " << elapsed_s << "\n";
+    oss << "blocks_dispatched " << blocks_dispatched << "\n";
+    oss << "gpu_busy_cycles " << gpu_busy_cycles << "\n";
+    for (size_t i = 0; i < cluster_busy_cycles.size(); ++i) {
+        oss << "cluster" << i << ".busy_cycles "
+            << cluster_busy_cycles[i] << "\n";
+    }
+    CoreActivity total;
+    for (const auto &c : cores)
+        total += c;
+    total.forEach([&](const char *name, uint64_t v) {
+        oss << "cores." << name << " " << v << "\n";
+    });
+    mem.forEach([&](const char *name, uint64_t v) {
+        oss << "mem." << name << " " << v << "\n";
+    });
+    return oss.str();
+}
+
+} // namespace perf
+} // namespace gpusimpow

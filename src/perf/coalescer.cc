@@ -1,0 +1,62 @@
+#include "perf/coalescer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+unsigned
+coalesce(const std::vector<uint32_t> &addrs, unsigned segment_bytes,
+         std::vector<uint32_t> &out)
+{
+    GSP_ASSERT(segment_bytes > 0, "zero coalescing granularity");
+    out.clear();
+    for (uint32_t a : addrs)
+        out.push_back(a / segment_bytes * segment_bytes);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return static_cast<unsigned>(out.size());
+}
+
+BankConflictInfo
+analyzeSmemAccess(const std::vector<uint32_t> &addrs, unsigned banks,
+                  unsigned word_bytes)
+{
+    GSP_ASSERT(banks > 0 && word_bytes > 0, "bad SMEM geometry");
+    BankConflictInfo info;
+    if (addrs.empty())
+        return info;
+
+    // Distinct words, then count words per bank.
+    std::vector<uint32_t> words;
+    words.reserve(addrs.size());
+    for (uint32_t a : addrs)
+        words.push_back(a / word_bytes);
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    info.distinct_words = static_cast<unsigned>(words.size());
+
+    std::vector<unsigned> per_bank(banks, 0);
+    unsigned worst = 1;
+    for (uint32_t w : words) {
+        unsigned bank = static_cast<unsigned>(w % banks);
+        ++per_bank[bank];
+        worst = std::max(worst, per_bank[bank]);
+    }
+    info.serialization = worst;
+    return info;
+}
+
+unsigned
+distinctAddresses(const std::vector<uint32_t> &addrs)
+{
+    std::vector<uint32_t> tmp(addrs);
+    std::sort(tmp.begin(), tmp.end());
+    tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+    return static_cast<unsigned>(tmp.size());
+}
+
+} // namespace perf
+} // namespace gpusimpow

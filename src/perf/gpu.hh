@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The full simulated GPU: cores grouped into clusters (TPCs/GPCs),
+ * the global work-distribution engine, the shared memory system, and
+ * the kernel run loop. The block scheduler reproduces the placement
+ * behaviour the paper measures in Fig. 4: blocks go first to
+ * unoccupied clusters, then to unoccupied cores, then stack up per
+ * core — which is exactly what makes cluster power show up as
+ * staircase steps.
+ */
+
+#ifndef GPUSIMPOW_PERF_GPU_HH
+#define GPUSIMPOW_PERF_GPU_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "perf/activity.hh"
+#include "perf/core.hh"
+#include "perf/kernel.hh"
+#include "perf/memory.hh"
+#include "perf/memsys.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+/** Result of one kernel execution. */
+struct RunResult
+{
+    /** Shader cycles from launch to completion of the last block. */
+    uint64_t cycles = 0;
+    /** Kernel duration in simulated seconds. */
+    double time_s = 0.0;
+    /** Cumulative activity over the whole kernel. */
+    ChipActivity activity;
+    /** Per-kernel instruction count (all cores). */
+    uint64_t instructions = 0;
+};
+
+/** A whole GPU card (chip + GDDR5 + host interface). */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+
+    /** Functional global memory (device memory). */
+    GlobalMemory &globalMem() { return _gmem; }
+    /** Functional constant memory. */
+    ConstantMemory &constMem() { return _cmem; }
+    /** Bump allocator over global memory. */
+    GlobalAllocator &allocator() { return _alloc; }
+
+    /** Copy host data to device (counts PCIe traffic). */
+    void memcpyToDevice(uint32_t dst, const void *src, size_t bytes);
+    /** Copy device data to host (counts PCIe traffic). */
+    void memcpyToHost(void *dst, uint32_t src, size_t bytes);
+
+    /**
+     * Callback invoked every sampling interval with the activity
+     * delta of that interval and its [t0, t1) bounds in seconds.
+     */
+    using SampleFn =
+        std::function<void(const ChipActivity &, double, double)>;
+
+    /**
+     * Run a kernel to completion.
+     * @param prog kernel program
+     * @param launch grid/block geometry
+     * @param sampler optional per-interval activity callback
+     * @param sample_interval_s sampling period (0 = no sampling)
+     */
+    RunResult run(const KernelProgram &prog, const LaunchConfig &launch,
+                  const SampleFn &sampler = nullptr,
+                  double sample_interval_s = 0.0);
+
+    /** The configuration this GPU was built from. */
+    const GpuConfig &config() const { return _cfg; }
+
+  private:
+    GpuConfig _cfg;
+    GlobalMemory _gmem;
+    ConstantMemory _cmem;
+    GlobalAllocator _alloc;
+    MemorySystem _memsys;
+    std::vector<std::unique_ptr<Core>> _cores;
+
+    // Persistent across kernels (for cumulative card statistics).
+    uint64_t _pcie_bytes = 0;
+    // Host copies before the current kernel are excluded from its
+    // activity window (the paper measures kernel windows only).
+    uint64_t _pcie_baseline = 0;
+
+    // Run-local scheduler state.
+    std::vector<uint64_t> _cluster_busy;
+    uint64_t _gpu_busy = 0;
+    uint64_t _blocks_dispatched = 0;
+
+    unsigned clusterOf(unsigned core_id) const
+    {
+        return core_id / _cfg.cores_per_cluster;
+    }
+
+    /** Pick the core the hardware scheduler would use, or -1. */
+    int pickCoreForBlock() const;
+
+    ChipActivity snapshot(uint64_t cycle) const;
+};
+
+} // namespace perf
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_PERF_GPU_HH

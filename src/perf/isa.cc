@@ -1,0 +1,160 @@
+#include "perf/isa.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace gpusimpow {
+namespace perf {
+
+Operand
+Operand::immf(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return {OperandKind::Imm, bits};
+}
+
+UnitClass
+Instruction::unitClass() const
+{
+    switch (op) {
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FFMA:
+      case Op::FMIN:
+      case Op::FMAX:
+      case Op::I2F:
+      case Op::F2I:
+        return UnitClass::Fp;
+      case Op::RCP:
+      case Op::RSQRT:
+      case Op::SQRT:
+      case Op::SIN:
+      case Op::COS:
+      case Op::EX2:
+      case Op::LG2:
+        return UnitClass::Sfu;
+      case Op::LDG:
+      case Op::STG:
+      case Op::LDS:
+      case Op::STS:
+      case Op::LDC:
+      case Op::ATOMG_ADD:
+        return UnitClass::Mem;
+      case Op::BRA:
+      case Op::BAR:
+      case Op::EXIT:
+      case Op::NOP:
+        return UnitClass::Ctrl;
+      default:
+        return UnitClass::Int;
+    }
+}
+
+unsigned
+Instruction::regSources() const
+{
+    unsigned n = 0;
+    if (src_a.kind == OperandKind::Reg)
+        ++n;
+    if (src_b.kind == OperandKind::Reg)
+        ++n;
+    if (src_c.kind == OperandKind::Reg)
+        ++n;
+    return n;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::NOP: return "nop";
+      case Op::MOV: return "mov";
+      case Op::IADD: return "iadd";
+      case Op::ISUB: return "isub";
+      case Op::IMUL: return "imul";
+      case Op::IMAD: return "imad";
+      case Op::ISHL: return "ishl";
+      case Op::ISHR: return "ishr";
+      case Op::IAND: return "iand";
+      case Op::IOR: return "ior";
+      case Op::IXOR: return "ixor";
+      case Op::IMIN: return "imin";
+      case Op::IMAX: return "imax";
+      case Op::FADD: return "fadd";
+      case Op::FSUB: return "fsub";
+      case Op::FMUL: return "fmul";
+      case Op::FFMA: return "ffma";
+      case Op::FMIN: return "fmin";
+      case Op::FMAX: return "fmax";
+      case Op::I2F: return "i2f";
+      case Op::F2I: return "f2i";
+      case Op::RCP: return "rcp";
+      case Op::RSQRT: return "rsqrt";
+      case Op::SQRT: return "sqrt";
+      case Op::SIN: return "sin";
+      case Op::COS: return "cos";
+      case Op::EX2: return "ex2";
+      case Op::LG2: return "lg2";
+      case Op::SETP: return "setp";
+      case Op::SELP: return "selp";
+      case Op::LDG: return "ldg";
+      case Op::STG: return "stg";
+      case Op::LDS: return "lds";
+      case Op::STS: return "sts";
+      case Op::LDC: return "ldc";
+      case Op::ATOMG_ADD: return "atomg.add";
+      case Op::BRA: return "bra";
+      case Op::BAR: return "bar";
+      case Op::EXIT: return "exit";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+appendOperand(std::ostringstream &oss, const Operand &o)
+{
+    switch (o.kind) {
+      case OperandKind::None:
+        break;
+      case OperandKind::Reg:
+        oss << " r" << o.value;
+        break;
+      case OperandKind::Imm:
+        oss << " #" << o.value;
+        break;
+      case OperandKind::Special:
+        oss << " %sr" << o.value;
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    if (guard >= 0) {
+        oss << "@" << (guard_negated ? "!" : "") << "p"
+            << static_cast<int>(guard) << " ";
+    }
+    oss << opName(op);
+    appendOperand(oss, dst);
+    appendOperand(oss, src_a);
+    appendOperand(oss, src_b);
+    appendOperand(oss, src_c);
+    if (op == Op::BRA)
+        oss << " ->" << target << " (reconv " << reconv << ")";
+    if (op == Op::SETP)
+        oss << " p" << static_cast<int>(aux);
+    if (unitClass() == UnitClass::Mem)
+        oss << " [+" << mem_offset << "]";
+    return oss.str();
+}
+
+} // namespace perf
+} // namespace gpusimpow

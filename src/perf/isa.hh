@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The mini SIMT instruction set executed by the performance
+ * simulator. It stands in for PTX/SASS in the original GPGPU-Sim
+ * flow: enough arithmetic, special-function, memory, predication,
+ * branch, and synchronization instructions to express the paper's 19
+ * benchmark kernels with realistic instruction mixes, divergence
+ * behaviour, and memory-access patterns.
+ *
+ * Instructions are warp-issued; predication and branching operate on
+ * per-thread lane masks exactly like the modeled hardware.
+ */
+
+#ifndef GPUSIMPOW_PERF_ISA_HH
+#define GPUSIMPOW_PERF_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpusimpow {
+namespace perf {
+
+/** Opcodes of the mini SIMT ISA. */
+enum class Op : uint8_t {
+    NOP,
+    // Integer ALU.
+    MOV,    ///< dst = srcA
+    IADD,   ///< dst = srcA + srcB
+    ISUB,   ///< dst = srcA - srcB
+    IMUL,   ///< dst = srcA * srcB (low 32 bits)
+    IMAD,   ///< dst = srcA * srcB + srcC
+    ISHL,   ///< dst = srcA << srcB
+    ISHR,   ///< dst = srcA >> srcB (logical)
+    IAND,   ///< dst = srcA & srcB
+    IOR,    ///< dst = srcA | srcB
+    IXOR,   ///< dst = srcA ^ srcB
+    IMIN,   ///< dst = min(signed srcA, srcB)
+    IMAX,   ///< dst = max(signed srcA, srcB)
+    // Floating point (32-bit).
+    FADD,   ///< dst = srcA + srcB
+    FSUB,   ///< dst = srcA - srcB
+    FMUL,   ///< dst = srcA * srcB
+    FFMA,   ///< dst = srcA * srcB + srcC
+    FMIN,   ///< dst = fminf(srcA, srcB)
+    FMAX,   ///< dst = fmaxf(srcA, srcB)
+    I2F,    ///< dst = float(int(srcA))
+    F2I,    ///< dst = int(float(srcA))
+    // Special function unit (transcendentals, SectionIII-C3).
+    RCP,    ///< dst = 1/srcA
+    RSQRT,  ///< dst = 1/sqrt(srcA)
+    SQRT,   ///< dst = sqrt(srcA)
+    SIN,    ///< dst = sin(srcA)
+    COS,    ///< dst = cos(srcA)
+    EX2,    ///< dst = 2^srcA
+    LG2,    ///< dst = log2(srcA)
+    // Predicates and select.
+    SETP,   ///< pred[aux] = cmp(srcA, srcB); cmp kind in `cmp`
+    SELP,   ///< dst = pred[aux] ? srcA : srcB
+    // Memory.
+    LDG,    ///< dst = global[srcA + imm]
+    STG,    ///< global[srcA + imm] = srcB
+    LDS,    ///< dst = shared[srcA + imm]
+    STS,    ///< shared[srcA + imm] = srcB
+    LDC,    ///< dst = constant[srcA + imm]
+    ATOMG_ADD, ///< dst = old global[srcA + imm]; global += srcB
+    // Control.
+    BRA,    ///< branch to `target` (guarded); reconverge at `reconv`
+    BAR,    ///< block-wide barrier
+    EXIT,   ///< thread terminates
+};
+
+/** Comparison kinds for SETP. */
+enum class Cmp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/** Operand data interpretation for SETP comparisons. */
+enum class CmpType : uint8_t { I32, U32, F32 };
+
+/** Kinds of instruction operand. */
+enum class OperandKind : uint8_t { None, Reg, Imm, Special };
+
+/** Special (read-only, per-thread) register identifiers. */
+enum class SpecialReg : uint8_t {
+    TidX, TidY, NTidX, NTidY, CtaIdX, CtaIdY, NCtaIdX, NCtaIdY, LaneId,
+    WarpId,
+};
+
+/** One instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    /** Register index, immediate bits, or SpecialReg value. */
+    uint32_t value = 0;
+
+    static Operand none() { return {}; }
+    static Operand reg(unsigned r)
+    {
+        return {OperandKind::Reg, r};
+    }
+    static Operand imm(uint32_t v)
+    {
+        return {OperandKind::Imm, v};
+    }
+    static Operand immf(float v);
+    static Operand special(SpecialReg s)
+    {
+        return {OperandKind::Special, static_cast<uint32_t>(s)};
+    }
+};
+
+/** Functional-unit class an opcode issues to. */
+enum class UnitClass : uint8_t { Int, Fp, Sfu, Mem, Ctrl };
+
+/** One decoded instruction of the mini ISA. */
+struct Instruction
+{
+    Op op = Op::NOP;
+    /** Destination register (Reg kind) or none. */
+    Operand dst;
+    Operand src_a;
+    Operand src_b;
+    Operand src_c;
+    /** SETP/SELP predicate index, 0..3. */
+    uint8_t aux = 0;
+    /** Comparison kind for SETP. */
+    Cmp cmp = Cmp::EQ;
+    /** Comparison operand type for SETP. */
+    CmpType cmp_type = CmpType::I32;
+    /** Byte offset added to the address register for memory ops. */
+    int32_t mem_offset = 0;
+    /** Branch target instruction index (BRA). */
+    uint32_t target = 0;
+    /** Reconvergence point instruction index (BRA). */
+    uint32_t reconv = 0;
+    /** Guard predicate index, or -1 when unguarded. */
+    int8_t guard = -1;
+    /** If true the guard is taken when the predicate is false. */
+    bool guard_negated = false;
+
+    /** Functional-unit class this opcode issues to. */
+    UnitClass unitClass() const;
+
+    /** Count of register source operands (for RF access stats). */
+    unsigned regSources() const;
+
+    /** True if the instruction writes a destination register. */
+    bool writesReg() const { return dst.kind == OperandKind::Reg; }
+
+    /** Disassembly for debugging and tests. */
+    std::string toString() const;
+};
+
+/** Human-readable opcode mnemonic. */
+const char *opName(Op op);
+
+} // namespace perf
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_PERF_ISA_HH

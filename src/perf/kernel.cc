@@ -1,0 +1,252 @@
+#include "perf/kernel.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+std::string
+KernelProgram::disassemble() const
+{
+    std::ostringstream oss;
+    oss << ".kernel " << name << " regs=" << regs_per_thread
+        << " smem=" << smem_bytes << "\n";
+    for (size_t i = 0; i < code.size(); ++i)
+        oss << i << ": " << code[i].toString() << "\n";
+    return oss.str();
+}
+
+KernelBuilder::KernelBuilder(std::string name, unsigned regs_per_thread,
+                             unsigned smem_bytes)
+{
+    // User-facing input: report misuse as fatal(), not panic().
+    if (regs_per_thread < 1 || regs_per_thread > 64) {
+        fatal("kernel '", name, "': regs_per_thread must be 1..64, got ",
+              regs_per_thread);
+    }
+    _prog.name = std::move(name);
+    _prog.regs_per_thread = regs_per_thread;
+    _prog.smem_bytes = smem_bytes;
+}
+
+KernelBuilder::Label
+KernelBuilder::newLabel()
+{
+    _labels.push_back(-1);
+    return static_cast<Label>(_labels.size() - 1);
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    GSP_ASSERT(l < _labels.size(), "unknown label");
+    GSP_ASSERT(_labels[l] < 0, "label bound twice");
+    _labels[l] = static_cast<int64_t>(_prog.code.size());
+}
+
+KernelBuilder::Label
+KernelBuilder::newBoundLabel()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+KernelBuilder &
+KernelBuilder::pred(unsigned p, bool negated)
+{
+    GSP_ASSERT(p < 4, "predicate index out of range");
+    _next_guard = static_cast<int8_t>(p);
+    _next_guard_negated = negated;
+    return *this;
+}
+
+Instruction &
+KernelBuilder::emit(Instruction inst)
+{
+    inst.guard = _next_guard;
+    inst.guard_negated = _next_guard_negated;
+    _next_guard = -1;
+    _next_guard_negated = false;
+    _prog.code.push_back(inst);
+    return _prog.code.back();
+}
+
+void
+KernelBuilder::emit3(Op op, unsigned dst, Operand a, Operand b, Operand c)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = Operand::reg(dst);
+    inst.src_a = a;
+    inst.src_b = b;
+    inst.src_c = c;
+    emit(inst);
+}
+
+void
+KernelBuilder::setp(unsigned p, Cmp cmp, CmpType type, Operand a,
+                    Operand b)
+{
+    GSP_ASSERT(p < 4, "predicate index out of range");
+    Instruction inst;
+    inst.op = Op::SETP;
+    inst.aux = static_cast<uint8_t>(p);
+    inst.cmp = cmp;
+    inst.cmp_type = type;
+    inst.src_a = a;
+    inst.src_b = b;
+    emit(inst);
+}
+
+void
+KernelBuilder::selp(unsigned dst, unsigned p, Operand a, Operand b)
+{
+    GSP_ASSERT(p < 4, "predicate index out of range");
+    Instruction inst;
+    inst.op = Op::SELP;
+    inst.dst = Operand::reg(dst);
+    inst.aux = static_cast<uint8_t>(p);
+    inst.src_a = a;
+    inst.src_b = b;
+    emit(inst);
+}
+
+void
+KernelBuilder::ldg(unsigned dst, Operand addr, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::LDG;
+    inst.dst = Operand::reg(dst);
+    inst.src_a = addr;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::stg(Operand addr, Operand value, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::STG;
+    inst.src_a = addr;
+    inst.src_b = value;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::lds(unsigned dst, Operand addr, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::LDS;
+    inst.dst = Operand::reg(dst);
+    inst.src_a = addr;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::sts(Operand addr, Operand value, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::STS;
+    inst.src_a = addr;
+    inst.src_b = value;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::ldc(unsigned dst, Operand addr, int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::LDC;
+    inst.dst = Operand::reg(dst);
+    inst.src_a = addr;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::atomgAdd(unsigned dst, Operand addr, Operand value,
+                        int32_t offset)
+{
+    Instruction inst;
+    inst.op = Op::ATOMG_ADD;
+    inst.dst = Operand::reg(dst);
+    inst.src_a = addr;
+    inst.src_b = value;
+    inst.mem_offset = offset;
+    emit(inst);
+}
+
+void
+KernelBuilder::braIf(unsigned p, bool negated, Label target, Label reconv)
+{
+    GSP_ASSERT(p < 4, "predicate index out of range");
+    Instruction inst;
+    inst.op = Op::BRA;
+    inst.guard = static_cast<int8_t>(p);
+    inst.guard_negated = negated;
+    uint32_t pc = static_cast<uint32_t>(_prog.code.size());
+    _target_patches.emplace_back(pc, target);
+    _reconv_patches.emplace_back(pc, reconv);
+    // Bypass emit()'s guard plumbing: BRA's guard is the branch
+    // condition itself, set above.
+    _prog.code.push_back(inst);
+}
+
+void
+KernelBuilder::jump(Label target)
+{
+    Instruction inst;
+    inst.op = Op::BRA;
+    inst.guard = -1;  // unconditional: all active threads take it
+    uint32_t pc = static_cast<uint32_t>(_prog.code.size());
+    _target_patches.emplace_back(pc, target);
+    // Reconvergence of a uniform jump is the target itself; no
+    // divergence can occur, the field is never used.
+    _prog.code.push_back(inst);
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction inst;
+    inst.op = Op::BAR;
+    emit(inst);
+}
+
+void
+KernelBuilder::exit()
+{
+    Instruction inst;
+    inst.op = Op::EXIT;
+    emit(inst);
+}
+
+KernelProgram
+KernelBuilder::finish()
+{
+    if (_prog.code.empty() || _prog.code.back().op != Op::EXIT) {
+        Instruction inst;
+        inst.op = Op::EXIT;
+        _prog.code.push_back(inst);
+    }
+    for (auto [pc, label] : _target_patches) {
+        GSP_ASSERT(label < _labels.size() && _labels[label] >= 0,
+                   "unbound branch target label in ", _prog.name);
+        _prog.code[pc].target = static_cast<uint32_t>(_labels[label]);
+    }
+    for (auto [pc, label] : _reconv_patches) {
+        GSP_ASSERT(label < _labels.size() && _labels[label] >= 0,
+                   "unbound reconvergence label in ", _prog.name);
+        _prog.code[pc].reconv = static_cast<uint32_t>(_labels[label]);
+    }
+    return std::move(_prog);
+}
+
+} // namespace perf
+} // namespace gpusimpow

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Kernel representation and a small assembler-style builder API. A
+ * KernelProgram is the unit the simulator launches (the paper's
+ * "GPGPU kernel"); workloads construct programs with KernelBuilder,
+ * which handles labels, branch patching, and reconvergence-point
+ * bookkeeping for the stack-based divergence mechanism.
+ */
+
+#ifndef GPUSIMPOW_PERF_KERNEL_HH
+#define GPUSIMPOW_PERF_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/isa.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+/** Grid/block dimensions (z unused by the current workloads). */
+struct Dim3
+{
+    unsigned x = 1;
+    unsigned y = 1;
+
+    unsigned count() const { return x * y; }
+};
+
+/** Launch geometry for one kernel invocation. */
+struct LaunchConfig
+{
+    /** Blocks in the grid. */
+    Dim3 grid;
+    /** Threads per block. */
+    Dim3 block;
+};
+
+/** A complete kernel: code plus per-thread/per-block resource needs. */
+struct KernelProgram
+{
+    /** Kernel name (used in reports and benchmarks). */
+    std::string name;
+    /** Instruction stream; PCs are indices into this vector. */
+    std::vector<Instruction> code;
+    /** Architectural registers needed per thread. */
+    unsigned regs_per_thread = 8;
+    /** Shared memory per block, bytes. */
+    unsigned smem_bytes = 0;
+
+    /** Disassembly of the whole program. */
+    std::string disassemble() const;
+};
+
+/**
+ * Assembler-style builder. Typical use:
+ * @code
+ * KernelBuilder b("saxpy", 8);
+ * auto loop = b.newLabel();
+ * b.iadd(0, Operand::special(SpecialReg::TidX), Operand::imm(0));
+ * b.bind(loop);
+ * ...
+ * b.braIf(0, false, loop, b.newBoundLabel());
+ * b.exit();
+ * auto prog = b.finish();
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    /** Opaque label handle. */
+    using Label = uint32_t;
+
+    /**
+     * @param name kernel name
+     * @param regs_per_thread register budget per thread
+     * @param smem_bytes shared memory per block
+     */
+    KernelBuilder(std::string name, unsigned regs_per_thread,
+                  unsigned smem_bytes = 0);
+
+    /** Allocate an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Allocate a label bound to the next emitted instruction. */
+    Label newBoundLabel();
+
+    /**
+     * Guard the next emitted instruction with predicate p.
+     * @param p predicate index 0..3
+     * @param negated execute when the predicate is false
+     */
+    KernelBuilder &pred(unsigned p, bool negated = false);
+
+    // --- Integer ---
+    void mov(unsigned dst, Operand a) { emit3(Op::MOV, dst, a, {}, {}); }
+    void iadd(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IADD, dst, a, b, {});
+    }
+    void isub(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::ISUB, dst, a, b, {});
+    }
+    void imul(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IMUL, dst, a, b, {});
+    }
+    void imad(unsigned dst, Operand a, Operand b, Operand c)
+    {
+        emit3(Op::IMAD, dst, a, b, c);
+    }
+    void ishl(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::ISHL, dst, a, b, {});
+    }
+    void ishr(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::ISHR, dst, a, b, {});
+    }
+    void iand(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IAND, dst, a, b, {});
+    }
+    void ior(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IOR, dst, a, b, {});
+    }
+    void ixor(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IXOR, dst, a, b, {});
+    }
+    void imin(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IMIN, dst, a, b, {});
+    }
+    void imax(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::IMAX, dst, a, b, {});
+    }
+
+    // --- Floating point ---
+    void fadd(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::FADD, dst, a, b, {});
+    }
+    void fsub(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::FSUB, dst, a, b, {});
+    }
+    void fmul(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::FMUL, dst, a, b, {});
+    }
+    void ffma(unsigned dst, Operand a, Operand b, Operand c)
+    {
+        emit3(Op::FFMA, dst, a, b, c);
+    }
+    void fmin(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::FMIN, dst, a, b, {});
+    }
+    void fmax(unsigned dst, Operand a, Operand b)
+    {
+        emit3(Op::FMAX, dst, a, b, {});
+    }
+    void i2f(unsigned dst, Operand a) { emit3(Op::I2F, dst, a, {}, {}); }
+    void f2i(unsigned dst, Operand a) { emit3(Op::F2I, dst, a, {}, {}); }
+
+    // --- SFU ---
+    void rcp(unsigned dst, Operand a) { emit3(Op::RCP, dst, a, {}, {}); }
+    void rsqrt(unsigned dst, Operand a)
+    {
+        emit3(Op::RSQRT, dst, a, {}, {});
+    }
+    void fsqrt(unsigned dst, Operand a)
+    {
+        emit3(Op::SQRT, dst, a, {}, {});
+    }
+    void fsin(unsigned dst, Operand a) { emit3(Op::SIN, dst, a, {}, {}); }
+    void fcos(unsigned dst, Operand a) { emit3(Op::COS, dst, a, {}, {}); }
+    void ex2(unsigned dst, Operand a) { emit3(Op::EX2, dst, a, {}, {}); }
+    void lg2(unsigned dst, Operand a) { emit3(Op::LG2, dst, a, {}, {}); }
+
+    // --- Predicates ---
+    /** pred[p] = cmp(a, b) with the given comparison and type. */
+    void setp(unsigned p, Cmp cmp, CmpType type, Operand a, Operand b);
+    /** dst = pred[p] ? a : b. */
+    void selp(unsigned dst, unsigned p, Operand a, Operand b);
+
+    // --- Memory ---
+    void ldg(unsigned dst, Operand addr, int32_t offset = 0);
+    void stg(Operand addr, Operand value, int32_t offset = 0);
+    void lds(unsigned dst, Operand addr, int32_t offset = 0);
+    void sts(Operand addr, Operand value, int32_t offset = 0);
+    void ldc(unsigned dst, Operand addr, int32_t offset = 0);
+    void atomgAdd(unsigned dst, Operand addr, Operand value,
+                  int32_t offset = 0);
+
+    // --- Control ---
+    /**
+     * Conditional branch on predicate p (negated if `negated`),
+     * reconverging at `reconv`.
+     */
+    void braIf(unsigned p, bool negated, Label target, Label reconv);
+    /** Unconditional jump (no divergence possible). */
+    void jump(Label target);
+    void bar();
+    void exit();
+
+    /** Patch labels and return the finished program. */
+    KernelProgram finish();
+
+  private:
+    KernelProgram _prog;
+    std::vector<int64_t> _labels;       // label -> pc or -1
+    std::vector<std::pair<uint32_t, Label>> _target_patches;
+    std::vector<std::pair<uint32_t, Label>> _reconv_patches;
+    int8_t _next_guard = -1;
+    bool _next_guard_negated = false;
+
+    Instruction &emit(Instruction inst);
+    void emit3(Op op, unsigned dst, Operand a, Operand b, Operand c);
+};
+
+} // namespace perf
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_PERF_KERNEL_HH

@@ -1,0 +1,143 @@
+#include "perf/memory.hh"
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+std::vector<uint8_t> &
+GlobalMemory::page(uint32_t addr)
+{
+    uint32_t key = addr >> page_bits;
+    auto it = _pages.find(key);
+    if (it == _pages.end())
+        it = _pages.emplace(key, std::vector<uint8_t>(page_size, 0)).first;
+    return it->second;
+}
+
+const std::vector<uint8_t> *
+GlobalMemory::pageIfPresent(uint32_t addr) const
+{
+    auto it = _pages.find(addr >> page_bits);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+uint32_t
+GlobalMemory::load32(uint32_t addr) const
+{
+    GSP_ASSERT(addr % 4 == 0, "unaligned global load at ", addr);
+    const std::vector<uint8_t> *p = pageIfPresent(addr);
+    if (!p)
+        return 0;
+    uint32_t v;
+    std::memcpy(&v, p->data() + (addr & (page_size - 1)), 4);
+    return v;
+}
+
+void
+GlobalMemory::store32(uint32_t addr, uint32_t value)
+{
+    GSP_ASSERT(addr % 4 == 0, "unaligned global store at ", addr);
+    std::memcpy(page(addr).data() + (addr & (page_size - 1)), &value, 4);
+}
+
+float
+GlobalMemory::loadF32(uint32_t addr) const
+{
+    uint32_t bits = load32(addr);
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+}
+
+void
+GlobalMemory::storeF32(uint32_t addr, float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    store32(addr, bits);
+}
+
+void
+GlobalMemory::write(uint32_t addr, const void *data, size_t bytes)
+{
+    const uint8_t *src = static_cast<const uint8_t *>(data);
+    while (bytes > 0) {
+        uint32_t in_page = addr & (page_size - 1);
+        size_t chunk = page_size - in_page;
+        if (chunk > bytes)
+            chunk = bytes;
+        std::memcpy(page(addr).data() + in_page, src, chunk);
+        addr += static_cast<uint32_t>(chunk);
+        src += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+GlobalMemory::read(uint32_t addr, void *data, size_t bytes) const
+{
+    uint8_t *dst = static_cast<uint8_t *>(data);
+    while (bytes > 0) {
+        uint32_t in_page = addr & (page_size - 1);
+        size_t chunk = page_size - in_page;
+        if (chunk > bytes)
+            chunk = bytes;
+        const std::vector<uint8_t> *p = pageIfPresent(addr);
+        if (p)
+            std::memcpy(dst, p->data() + in_page, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        addr += static_cast<uint32_t>(chunk);
+        dst += chunk;
+        bytes -= chunk;
+    }
+}
+
+uint32_t
+GlobalAllocator::alloc(uint32_t bytes)
+{
+    uint32_t addr = _next;
+    uint32_t aligned = (bytes + 255u) & ~255u;
+    GSP_ASSERT(_next + aligned > _next, "global address space exhausted");
+    _next += aligned;
+    return addr;
+}
+
+uint32_t
+ConstantMemory::load32(uint32_t addr) const
+{
+    GSP_ASSERT(addr % 4 == 0 && addr + 4 <= _data.size(),
+               "bad constant access at ", addr);
+    uint32_t v;
+    std::memcpy(&v, _data.data() + addr, 4);
+    return v;
+}
+
+void
+ConstantMemory::write(uint32_t addr, const void *data, size_t bytes)
+{
+    GSP_ASSERT(addr + bytes <= _data.size(), "constant segment overflow");
+    std::memcpy(_data.data() + addr, data, bytes);
+}
+
+uint32_t
+SharedMemory::load32(uint32_t addr) const
+{
+    GSP_ASSERT(addr % 4 == 0 && addr + 4 <= _data.size(),
+               "bad shared load at ", addr, " (size ", _data.size(), ")");
+    uint32_t v;
+    std::memcpy(&v, _data.data() + addr, 4);
+    return v;
+}
+
+void
+SharedMemory::store32(uint32_t addr, uint32_t value)
+{
+    GSP_ASSERT(addr % 4 == 0 && addr + 4 <= _data.size(),
+               "bad shared store at ", addr, " (size ", _data.size(), ")");
+    std::memcpy(_data.data() + addr, &value, 4);
+}
+
+} // namespace perf
+} // namespace gpusimpow

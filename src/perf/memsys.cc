@@ -1,0 +1,170 @@
+#include "perf/memsys.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+MemorySystem::MemorySystem(const GpuConfig &cfg) : _cfg(cfg)
+{
+    _uncore_per_shader = 1.0 / cfg.clocks.shader_to_uncore;
+    _dram_per_uncore = cfg.clocks.dram_hz / cfg.clocks.uncore_hz;
+    _line_bytes = cfg.l2.present ? cfg.l2.line_bytes : cfg.core.line_bytes;
+    _burst_bytes = cfg.dram.channel_bits / 8 * cfg.dram.burst_length;
+    _flits_per_line =
+        std::max(1u, _line_bytes * 8 / std::max(1u, cfg.noc.link_bits));
+
+    if (cfg.l2.present) {
+        CacheParams p;
+        p.size_bytes = cfg.l2.total_bytes / cfg.l2.slices;
+        p.line_bytes = cfg.l2.line_bytes;
+        p.assoc = cfg.l2.assoc;
+        p.allocate_on_write = true;
+        for (unsigned i = 0; i < cfg.l2.slices; ++i)
+            _l2_slices.emplace_back(p);
+    }
+    for (unsigned i = 0; i < cfg.dram.channels; ++i)
+        _channels.emplace_back(cfg.dram);
+}
+
+uint64_t
+MemorySystem::toUncore(uint64_t shader_cycle) const
+{
+    return static_cast<uint64_t>(
+        static_cast<double>(shader_cycle) * _uncore_per_shader);
+}
+
+uint64_t
+MemorySystem::toShader(uint64_t uncore_cycle) const
+{
+    return static_cast<uint64_t>(std::ceil(
+        static_cast<double>(uncore_cycle) * _cfg.clocks.shader_to_uncore));
+}
+
+uint64_t
+MemorySystem::dramService(uint64_t addr, bool write, uint64_t uncore_now)
+{
+    unsigned channel = static_cast<unsigned>(
+        (addr / _line_bytes) % _cfg.dram.channels);
+    // Channel-local address: strip the interleave bits.
+    uint64_t local = addr / _line_bytes / _cfg.dram.channels * _line_bytes +
+                     addr % _line_bytes;
+    uint64_t dram_now = static_cast<uint64_t>(
+        static_cast<double>(uncore_now) * _dram_per_uncore);
+
+    // A line moves as several sequential bursts (same row).
+    unsigned bursts = std::max(1u, _line_bytes / _burst_bytes);
+    uint64_t done = dram_now;
+    for (unsigned b = 0; b < bursts; ++b) {
+        done = _channels[channel].access(local + b * _burst_bytes, write,
+                                         dram_now);
+    }
+    ++_activity.mc_requests;
+    return static_cast<uint64_t>(std::ceil(
+        static_cast<double>(done) / _dram_per_uncore));
+}
+
+uint64_t
+MemorySystem::access(uint64_t addr, bool write, uint64_t shader_cycle)
+{
+    uint64_t now = toUncore(shader_cycle);
+
+    // Request network: header flit plus payload for writes.
+    unsigned req_flits = 1 + (write ? _flits_per_line : 0);
+    _activity.noc_flits += req_flits;
+    _noc_req_free = std::max(_noc_req_free, now) + req_flits;
+    uint64_t t = std::max(now + _cfg.noc.latency, _noc_req_free);
+
+    if (!_l2_slices.empty()) {
+        unsigned slice = static_cast<unsigned>(
+            (addr / _cfg.l2.line_bytes) % _l2_slices.size());
+        bool hit = _l2_slices[slice].access(addr, write);
+        if (write)
+            ++_activity.l2_writes;
+        else
+            ++_activity.l2_reads;
+        t += _cfg.l2.latency;
+        if (!hit) {
+            ++_activity.l2_misses;
+            t = dramService(addr, write, t) + _cfg.dram.latency;
+        }
+    } else {
+        // No L2 (Tesla-class): straight to the memory controller.
+        t = dramService(addr, write, t) + _cfg.dram.latency;
+    }
+
+    // Response network: header plus payload for reads.
+    unsigned resp_flits = 1 + (write ? 0 : _flits_per_line);
+    _activity.noc_flits += resp_flits;
+    _noc_resp_free = std::max(_noc_resp_free, t) + resp_flits;
+    uint64_t done = std::max(t + _cfg.noc.latency, _noc_resp_free);
+
+    return toShader(done);
+}
+
+void
+MemorySystem::flushCaches()
+{
+    for (auto &slice : _l2_slices)
+        slice.flush();
+}
+
+dram::DramActivity
+MemorySystem::dramActivity(double elapsed_s) const
+{
+    dram::DramActivity a;
+    uint64_t bus_busy = 0;
+    for (const auto &ch : _channels) {
+        a.activates += ch.activates();
+        a.read_bursts += ch.readBursts();
+        a.write_bursts += ch.writeBursts();
+        bus_busy += ch.busBusyCycles();
+    }
+    a.elapsed_s = elapsed_s;
+    if (elapsed_s > 0.0) {
+        double total_cycles =
+            elapsed_s * _cfg.clocks.dram_hz * _cfg.dram.channels;
+        double util = static_cast<double>(bus_busy) / total_cycles;
+        // Rows stay open between bursts; the open fraction saturates
+        // well before the bus does.
+        a.row_open_frac = std::min(1.0, 4.0 * util);
+    }
+    return a;
+}
+
+void
+MemorySystem::updateDramCounters()
+{
+    uint64_t act = 0, rd = 0, wr = 0, bus = 0;
+    for (const auto &ch : _channels) {
+        act += ch.activates();
+        rd += ch.readBursts();
+        wr += ch.writeBursts();
+        bus += ch.busBusyCycles();
+    }
+    _activity.dram_activates = act;
+    _activity.dram_read_bursts = rd;
+    _activity.dram_write_bursts = wr;
+    _activity.dram_bus_cycles = bus;
+}
+
+void
+MemorySystem::resetCounters()
+{
+    _activity = MemActivity{};
+    for (auto &ch : _channels) {
+        ch.resetCounters();
+        // The simulated clock restarts at zero for every kernel; the
+        // absolute next-free times must restart with it.
+        ch.resetTiming();
+    }
+    _noc_req_free = 0;
+    _noc_resp_free = 0;
+}
+
+} // namespace perf
+} // namespace gpusimpow

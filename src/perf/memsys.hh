@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The chip-level memory system behind the cores' L1s: NoC transit,
+ * shared L2 slices (when configured, Table II), memory controllers,
+ * and GDDR5 channels. Requests carry real addresses; queueing shows
+ * up through the DRAM bank/bus state and per-resource next-free
+ * times, so bandwidth saturation and row locality are modeled
+ * without a full discrete-event uncore.
+ */
+
+#ifndef GPUSIMPOW_PERF_MEMSYS_HH
+#define GPUSIMPOW_PERF_MEMSYS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "dram/gddr5.hh"
+#include "perf/activity.hh"
+#include "perf/cache.hh"
+
+namespace gpusimpow {
+namespace perf {
+
+/** Chip-level memory system shared by all cores. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /**
+     * Issue one line-sized transaction from a core's LDST unit.
+     * @param addr byte address (line aligned by the caller)
+     * @param write true for stores
+     * @param shader_cycle issue time in shader cycles
+     * @return completion time in shader cycles (data back at core)
+     */
+    uint64_t access(uint64_t addr, bool write, uint64_t shader_cycle);
+
+    /** Uncore activity counters (flits, L2, MC, DRAM). */
+    const MemActivity &activity() const { return _activity; }
+
+    /** Invalidate L2 state between kernels. */
+    void flushCaches();
+
+    /** DRAM power-model activity for an interval ending now. */
+    dram::DramActivity dramActivity(double elapsed_s) const;
+
+    /** Copy the cumulative DRAM channel counters into activity(). */
+    void updateDramCounters();
+
+    /** Reset interval counters (keeps cache/bank state). */
+    void resetCounters();
+
+  private:
+    GpuConfig _cfg;
+    double _uncore_per_shader;   // uncore cycles per shader cycle
+    double _dram_per_uncore;     // dram cycles per uncore cycle
+    unsigned _line_bytes;
+    unsigned _burst_bytes;       // bytes moved per DRAM burst
+    unsigned _flits_per_line;
+
+    std::vector<CacheModel> _l2_slices;
+    std::vector<dram::DramChannel> _channels;
+    /** NoC request/response serialization points (next-free). */
+    uint64_t _noc_req_free = 0;
+    uint64_t _noc_resp_free = 0;
+
+    MemActivity _activity;
+
+    uint64_t toUncore(uint64_t shader_cycle) const;
+    uint64_t toShader(uint64_t uncore_cycle) const;
+
+    /** Service a line at DRAM; returns uncore completion cycle. */
+    uint64_t dramService(uint64_t addr, bool write, uint64_t uncore_now);
+};
+
+} // namespace perf
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_PERF_MEMSYS_HH

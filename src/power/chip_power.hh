@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The chip-level power model ("GPGPU-Pow" in the paper): assembles
+ * the per-core models with the NoC, memory controllers, PCIe
+ * controller, shared L2, the empirical base-power model (global
+ * scheduler + cluster activation, SectionIII-D / Fig. 4), and the
+ * external GDDR5 DRAM. Produces hierarchical PowerReports for any
+ * activity interval, plus static-only/area summaries (Table IV).
+ */
+
+#ifndef GPUSIMPOW_POWER_CHIP_POWER_HH
+#define GPUSIMPOW_POWER_CHIP_POWER_HH
+
+#include <memory>
+
+#include "config/gpu_config.hh"
+#include "dram/gddr5.hh"
+#include "perf/activity.hh"
+#include "power/core_power.hh"
+#include "power/report.hh"
+
+namespace gpusimpow {
+namespace power {
+
+/** Power model of one complete GPU card. */
+class GpuPowerModel
+{
+  public:
+    explicit GpuPowerModel(const GpuConfig &cfg);
+
+    /**
+     * Evaluate runtime power for an activity interval.
+     * @param act activity deltas over the interval
+     * @return hierarchical report (Table V structure)
+     */
+    PowerReport evaluate(const perf::ChipActivity &act) const;
+
+    /** Static-only report (idle chip, Table IV row). */
+    PowerReport staticReport() const;
+
+    /** Chip area in mm^2 (Table IV column). */
+    double area() const;
+
+    /** Chip static power in W (Table IV column). */
+    double staticPower() const;
+
+    /** Peak dynamic power of the whole chip, W. */
+    double peakDynamicPower() const;
+
+    /** The technology node in use (for tests). */
+    const tech::TechNode &techNode() const { return _t; }
+
+    /** Access to the per-core model (for calibration benches). */
+    const CorePowerModel &coreModel() const { return *_core_model; }
+
+  private:
+    GpuConfig _cfg;
+    tech::TechNode _t;
+    std::unique_ptr<CorePowerModel> _core_model;
+    std::unique_ptr<dram::Gddr5Power> _dram_power;
+
+    // Uncore statics, computed once at construction.
+    ComponentStatics _noc;
+    ComponentStatics _mc;       // all channels together
+    ComponentStatics _pcie;
+    ComponentStatics _l2;       // all slices together
+    double _noc_flit_energy_j = 0.0;
+    double _l2_access_energy_j = 0.0;
+    double _mc_request_energy_j = 0.0;
+    double _mc_bit_energy_j = 0.0;
+    double _pcie_active_w = 0.0;
+    double _pcie_byte_energy_j = 0.0;
+
+    void buildUncore();
+};
+
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_POWER_CHIP_POWER_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-core power model: maps the SIMT core's architectural
+ * components (WCU of Fig. 2, register file, execution units, LDSTU
+ * of Fig. 3) onto circuit-layer primitives plus the empirical
+ * execution-unit and base-power models of SectionIII-D. One
+ * instance models one core; all cores of a chip are identical.
+ */
+
+#ifndef GPUSIMPOW_POWER_CORE_POWER_HH
+#define GPUSIMPOW_POWER_CORE_POWER_HH
+
+#include <memory>
+
+#include "circuit/array.hh"
+#include "circuit/interconnect.hh"
+#include "circuit/logic.hh"
+#include "config/gpu_config.hh"
+#include "perf/activity.hh"
+#include "power/report.hh"
+#include "tech/tech.hh"
+
+namespace gpusimpow {
+namespace power {
+
+/** Static (activity-independent) properties of one component. */
+struct ComponentStatics
+{
+    double area_mm2 = 0.0;
+    double sub_leakage_w = 0.0;
+    double gate_leakage_w = 0.0;
+    double peak_dynamic_w = 0.0;
+};
+
+/** Power model of one SIMT core. */
+class CorePowerModel
+{
+  public:
+    /**
+     * @param cfg full GPU configuration
+     * @param t resolved technology node
+     */
+    CorePowerModel(const GpuConfig &cfg, const tech::TechNode &t);
+
+    /**
+     * Build the per-core subtree of the power report (the bottom
+     * half of Table V) for one activity interval.
+     * @param node output node (the core)
+     * @param act this core's activity over the interval
+     * @param elapsed_s interval duration
+     * @param base_dyn_w externally computed base power (cluster and
+     *        global scheduler share, SectionIII-D)
+     * @param l2_share externally computed L2 statics/dynamics folded
+     *        into the LDSTU (the paper: "the LDSTU encapsulates ...
+     *        the L2 caches")
+     */
+    void populate(PowerNode &node, const perf::CoreActivity &act,
+                  double elapsed_s, double base_dyn_w,
+                  const ComponentStatics &l2_share,
+                  double l2_share_dyn_w) const;
+
+    /** Static properties of the whole core (sum of components). */
+    ComponentStatics totals() const;
+
+    /** Peak dynamic power of the execution units alone, W. */
+    double euPeakDynamic() const;
+
+  private:
+    const GpuConfig &_cfg;
+    tech::TechNode _t;
+    double _fclk;
+
+    // --- WCU ---
+    std::unique_ptr<circuit::SramArray> _wst;
+    std::unique_ptr<circuit::PriorityEncoder> _fetch_sched;
+    std::unique_ptr<circuit::PriorityEncoder> _issue_sched;
+    std::unique_ptr<circuit::SramArray> _icache;
+    std::unique_ptr<circuit::InstructionDecoder> _decoder;
+    std::unique_ptr<circuit::CamArray> _ibuffer;
+    std::unique_ptr<circuit::CamArray> _scoreboard;  // null if absent
+    std::unique_ptr<circuit::SramArray> _reconv_stack;
+
+    // --- Register file ---
+    std::unique_ptr<circuit::SramArray> _rf_bank;
+    unsigned _rf_banks;
+    std::unique_ptr<circuit::Crossbar> _rf_xbar;
+    std::unique_ptr<circuit::SramArray> _collector;
+    unsigned _collectors;
+
+    // --- Execution units (areas analytic, energy empirical) ---
+    ComponentStatics _eu;
+
+    // --- LDSTU ---
+    std::unique_ptr<circuit::Adder> _agu_adder;
+    unsigned _agu_adders;
+    std::unique_ptr<circuit::DffStorage> _coalescer;
+    std::unique_ptr<circuit::SramArray> _smem_bank;
+    unsigned _smem_banks;
+    std::unique_ptr<circuit::Crossbar> _smem_addr_xbar;
+    std::unique_ptr<circuit::Crossbar> _smem_data_xbar;
+    std::unique_ptr<circuit::SramArray> _const_cache;
+    std::unique_ptr<circuit::SramArray> _l1_tags;  // null without L1
+
+    ComponentStatics wcuStatics() const;
+    ComponentStatics rfStatics() const;
+    ComponentStatics ldstStatics() const;
+
+    double wcuEnergy(const perf::CoreActivity &act) const;
+    double rfEnergy(const perf::CoreActivity &act) const;
+    double euEnergy(const perf::CoreActivity &act) const;
+    double ldstEnergy(const perf::CoreActivity &act) const;
+};
+
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_POWER_CORE_POWER_HH

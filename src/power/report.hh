@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hierarchical power/area reports: the "Power & Area Results" output
+ * of Fig. 1. A report is a tree of components (GPU -> cores -> WCU /
+ * register file / execution units / LDSTU ...) with area, leakage,
+ * peak dynamic, and runtime dynamic power per node, supporting the
+ * arbitrary-depth power profiles of SectionV-B (Table V).
+ */
+
+#ifndef GPUSIMPOW_POWER_REPORT_HH
+#define GPUSIMPOW_POWER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+namespace power {
+
+/** One component node of a power report. */
+struct PowerNode
+{
+    /** Component name ("Register File", "NoC", ...). */
+    std::string name;
+    /** Silicon area, mm^2 (own, excluding children). */
+    double area_mm2 = 0.0;
+    /** Subthreshold leakage, W (own). */
+    double sub_leakage_w = 0.0;
+    /** Gate leakage, W (own). */
+    double gate_leakage_w = 0.0;
+    /** Peak dynamic power, W (own). */
+    double peak_dynamic_w = 0.0;
+    /** Runtime dynamic power over the evaluated interval, W (own). */
+    double runtime_dynamic_w = 0.0;
+    /** Sub-components. */
+    std::vector<PowerNode> children;
+
+    /** Add and return a child node. */
+    PowerNode &child(const std::string &child_name);
+
+    /** Find a descendant by path ("Cores/Core/WCU"), or nullptr. */
+    const PowerNode *find(const std::string &path) const;
+
+    /** Total static power (sub + gate leakage), including children. */
+    double totalStatic() const;
+    /** Total runtime dynamic power, including children. */
+    double totalDynamic() const;
+    /** Total area, including children. */
+    double totalArea() const;
+    /** Total peak dynamic power, including children. */
+    double totalPeak() const;
+
+    /** Render an indented table like Table V of the paper. */
+    std::string format(int indent = 0) const;
+};
+
+/** A full evaluation result. */
+struct PowerReport
+{
+    /** Root of the component tree (the GPU chip). */
+    PowerNode gpu;
+    /** Off-chip GDDR5 DRAM power, W (reported separately, as the
+     *  paper does: "this table does not include the power consumed
+     *  by the external DRAM"). */
+    double dram_w = 0.0;
+    /** Short-circuit power share contained in the dynamic numbers
+     *  (second term of Eq. 1), W. Informational. */
+    double short_circuit_w = 0.0;
+    /** Interval the runtime numbers integrate over, s. */
+    double elapsed_s = 0.0;
+
+    /** Chip static power, W. */
+    double staticPower() const { return gpu.totalStatic(); }
+    /** Chip runtime dynamic power, W. */
+    double dynamicPower() const { return gpu.totalDynamic(); }
+    /** Chip total runtime power, W. */
+    double totalPower() const { return staticPower() + dynamicPower(); }
+    /** Chip area, mm^2. */
+    double area() const { return gpu.totalArea(); }
+
+    /** Render the whole report. */
+    std::string format() const;
+};
+
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_POWER_REPORT_HH

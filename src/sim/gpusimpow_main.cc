@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The gpusimpow command-line tool — the user-facing entry point of
+ * the framework, mirroring how the paper's released simulator is
+ * driven: a GPU configuration (XML file or preset) plus a workload,
+ * producing area/power reports, optional power-over-time traces, and
+ * raw activity statistics.
+ *
+ * Usage:
+ *   gpusimpow [options]
+ *     --gpu gt240|gtx580        preset configuration (default gt240)
+ *     --config FILE             XML configuration (overrides --gpu)
+ *     --workload NAME           Table I benchmark (default vectoradd)
+ *     --scale N                 problem-size multiplier (default 1)
+ *     --trace FILE.csv          write a sampled power waveform
+ *     --sample-us N             trace sampling period (default 20)
+ *     --stats                   dump raw activity counters
+ *     --static-only             print area/static report and exit
+ *     --dump-config             print the effective XML and exit
+ *     --list                    list available workloads and exit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace gpusimpow;
+
+namespace {
+
+struct Options
+{
+    std::string gpu = "gt240";
+    std::string config_file;
+    std::string workload = "vectoradd";
+    unsigned scale = 1;
+    std::string trace_file;
+    double sample_us = 20.0;
+    bool stats = false;
+    bool static_only = false;
+    bool dump_config = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: gpusimpow [--gpu gt240|gtx580] [--config FILE]\n"
+        "                 [--workload NAME] [--scale N]\n"
+        "                 [--trace FILE.csv] [--sample-us N]\n"
+        "                 [--stats] [--static-only] [--dump-config]\n"
+        "                 [--list]\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return argv[++i];
+        };
+        if (arg == "--gpu") {
+            opt.gpu = need_value("--gpu");
+        } else if (arg == "--config") {
+            opt.config_file = need_value("--config");
+        } else if (arg == "--workload") {
+            opt.workload = need_value("--workload");
+        } else if (arg == "--scale") {
+            opt.scale = static_cast<unsigned>(
+                parseLong(need_value("--scale"), "--scale"));
+        } else if (arg == "--trace") {
+            opt.trace_file = need_value("--trace");
+        } else if (arg == "--sample-us") {
+            opt.sample_us =
+                parseDouble(need_value("--sample-us"), "--sample-us");
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--static-only") {
+            opt.static_only = true;
+        } else if (arg == "--dump-config") {
+            opt.dump_config = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("unknown option '", arg, "'");
+        }
+    }
+    return opt;
+}
+
+GpuConfig
+resolveConfig(const Options &opt)
+{
+    if (!opt.config_file.empty())
+        return GpuConfig::fromXmlFile(opt.config_file);
+    if (opt.gpu == "gt240")
+        return GpuConfig::gt240();
+    if (opt.gpu == "gtx580")
+        return GpuConfig::gtx580();
+    fatal("unknown GPU preset '", opt.gpu,
+          "' (expected gt240 or gtx580)");
+}
+
+int
+runTool(const Options &opt)
+{
+    if (opt.list) {
+        std::printf("available workloads:\n");
+        for (auto &wl : workloads::makeAllWorkloads()) {
+            std::printf("  %-14s %s (%s)\n", wl->name().c_str(),
+                        wl->description().c_str(),
+                        wl->origin().c_str());
+        }
+        return 0;
+    }
+
+    GpuConfig cfg = resolveConfig(opt);
+    if (opt.dump_config) {
+        std::fputs(cfg.toXml().c_str(), stdout);
+        return 0;
+    }
+
+    Simulator sim(cfg);
+    if (opt.static_only) {
+        std::printf("%s\n",
+                    sim.powerModel().staticReport().format().c_str());
+        std::printf("peak dynamic power: %.1f W\n",
+                    sim.powerModel().peakDynamicPower());
+        return 0;
+    }
+
+    auto wl = workloads::makeWorkload(opt.workload, opt.scale);
+    auto launches = wl->prepare(sim.gpu());
+
+    std::ofstream trace_out;
+    bool tracing = !opt.trace_file.empty();
+    if (tracing) {
+        trace_out.open(opt.trace_file);
+        if (!trace_out)
+            fatal("cannot open trace file '", opt.trace_file, "'");
+        trace_out << "kernel,t0_s,t1_s,dynamic_w,static_w,dram_w\n";
+    }
+
+    std::printf("%s on %s (%u cores, %u nm)\n\n", opt.workload.c_str(),
+                cfg.name.c_str(), cfg.numCores(), cfg.tech.node_nm);
+
+    double total_energy_j = 0.0;
+    double total_time_s = 0.0;
+    for (const auto &kl : launches) {
+        KernelRun run = sim.runKernel(kl.prog, kl.launch, tracing,
+                                      opt.sample_us * 1e-6);
+        double card_w = run.report.totalPower() + run.report.dram_w;
+        total_energy_j += card_w * run.perf.time_s;
+        total_time_s += run.perf.time_s;
+        std::printf("kernel %-14s %9lu cycles %9.1f us  dyn %6.2f W  "
+                    "total %6.2f W (card %6.2f W)\n",
+                    kl.label.c_str(),
+                    static_cast<unsigned long>(run.perf.cycles),
+                    run.perf.time_s * 1e6, run.report.dynamicPower(),
+                    run.report.totalPower(), card_w);
+        if (tracing) {
+            for (const PowerSample &s : run.trace) {
+                trace_out << kl.label << ',' << s.t0 << ',' << s.t1
+                          << ',' << s.dynamic_w << ',' << s.static_w
+                          << ',' << s.dram_w << '\n';
+            }
+        }
+        if (opt.stats)
+            std::fputs(run.perf.activity.format().c_str(), stdout);
+    }
+
+    std::printf("\nbenchmark total: %.3f ms, %.3f mJ, verification %s\n",
+                total_time_s * 1e3, total_energy_j * 1e3,
+                wl->verify(sim.gpu()) ? "PASS" : "FAIL");
+
+    std::printf("\n%s", "power report of the last kernel:\n");
+    // Re-evaluate for a compact chip-level view.
+    std::printf("static %.2f W, area %.1f mm2, peak dynamic %.1f W\n",
+                sim.powerModel().staticPower(), sim.powerModel().area(),
+                sim.powerModel().peakDynamicPower());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runTool(parseArgs(argc, argv));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "gpusimpow: fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "gpusimpow: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,42 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+
+Simulator::Simulator(const GpuConfig &cfg) : _cfg(cfg)
+{
+    _gpu = std::make_unique<perf::Gpu>(_cfg);
+    _power = std::make_unique<power::GpuPowerModel>(_cfg);
+}
+
+KernelRun
+Simulator::runKernel(const perf::KernelProgram &prog,
+                     const perf::LaunchConfig &launch, bool with_trace,
+                     double sample_interval_s)
+{
+    KernelRun run;
+
+    perf::Gpu::SampleFn sampler;
+    if (with_trace) {
+        double static_w = _power->staticPower();
+        sampler = [&, static_w](const perf::ChipActivity &delta,
+                                double t0, double t1) {
+            power::PowerReport rep = _power->evaluate(delta);
+            PowerSample s;
+            s.t0 = t0;
+            s.t1 = t1;
+            s.dynamic_w = rep.dynamicPower();
+            s.static_w = static_w;
+            s.dram_w = rep.dram_w;
+            run.trace.push_back(s);
+        };
+    }
+
+    run.perf = _gpu->run(prog, launch, sampler,
+                         with_trace ? sample_interval_s : 0.0);
+    run.report = _power->evaluate(run.perf.activity);
+    return run;
+}
+
+} // namespace gpusimpow

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The GPUSimPow top level (Fig. 1): couples the cycle-level
+ * performance simulator (activity producer) with the GPGPU-Pow
+ * power model (activity consumer) and returns combined results —
+ * whole-kernel power reports plus optional power-over-time traces
+ * for the measurement testbed.
+ */
+
+#ifndef GPUSIMPOW_SIM_SIMULATOR_HH
+#define GPUSIMPOW_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "perf/gpu.hh"
+#include "perf/kernel.hh"
+#include "power/chip_power.hh"
+
+namespace gpusimpow {
+
+/** One sampled point of a simulated power waveform. */
+struct PowerSample
+{
+    /** Interval start, s. */
+    double t0 = 0.0;
+    /** Interval end, s. */
+    double t1 = 0.0;
+    /** Chip dynamic power over the interval, W. */
+    double dynamic_w = 0.0;
+    /** Chip static power, W. */
+    double static_w = 0.0;
+    /** External DRAM power, W. */
+    double dram_w = 0.0;
+
+    /** Card-level total (chip + DRAM), W. */
+    double total() const { return dynamic_w + static_w + dram_w; }
+};
+
+/** Combined result of simulating one kernel. */
+struct KernelRun
+{
+    /** Performance-side results (cycles, activity). */
+    perf::RunResult perf;
+    /** Whole-kernel power report (Table V structure). */
+    power::PowerReport report;
+    /** Power waveform when tracing was requested. */
+    std::vector<PowerSample> trace;
+};
+
+/** Facade over one simulated GPU and its power model. */
+class Simulator
+{
+  public:
+    explicit Simulator(const GpuConfig &cfg);
+
+    /** The performance-simulated GPU (memory setup, launches). */
+    perf::Gpu &gpu() { return *_gpu; }
+
+    /** The power model (static/area queries). */
+    const power::GpuPowerModel &powerModel() const { return *_power; }
+
+    /** Configuration in use. */
+    const GpuConfig &config() const { return _cfg; }
+
+    /**
+     * Run one kernel and evaluate its power.
+     * @param prog kernel program
+     * @param launch launch geometry
+     * @param with_trace also produce a sampled power waveform
+     * @param sample_interval_s trace sampling period
+     */
+    KernelRun runKernel(const perf::KernelProgram &prog,
+                        const perf::LaunchConfig &launch,
+                        bool with_trace = false,
+                        double sample_interval_s = 20e-6);
+
+  private:
+    GpuConfig _cfg;
+    std::unique_ptr<perf::Gpu> _gpu;
+    std::unique_ptr<power::GpuPowerModel> _power;
+};
+
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_SIM_SIMULATOR_HH

@@ -1,0 +1,103 @@
+#include "stats/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace stats {
+
+Distribution::Distribution(std::string name, std::string desc, int64_t min,
+                           int64_t max, unsigned num_buckets)
+    : _name(std::move(name)), _desc(std::move(desc)), _min(min), _max(max),
+      _buckets(num_buckets, 0)
+{
+    GSP_ASSERT(max > min, "distribution range must be non-empty");
+    GSP_ASSERT(num_buckets > 0, "distribution needs at least one bucket");
+}
+
+void
+Distribution::sample(int64_t value)
+{
+    int64_t clamped = value < _min ? _min : (value > _max ? _max : value);
+    auto span = static_cast<double>(_max - _min + 1);
+    auto idx = static_cast<size_t>(
+        static_cast<double>(clamped - _min) / span *
+        static_cast<double>(_buckets.size()));
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    ++_buckets[idx];
+    ++_count;
+    _sum += static_cast<double>(value);
+}
+
+double
+Distribution::mean() const
+{
+    return _count == 0 ? 0.0 : _sum / static_cast<double>(_count);
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : _buckets)
+        b = 0;
+    _count = 0;
+    _sum = 0.0;
+}
+
+Counter &
+Group::counter(const std::string &name, const std::string &desc)
+{
+    auto it = _counters.find(name);
+    if (it == _counters.end())
+        it = _counters.emplace(name, Counter(name, desc)).first;
+    return it->second;
+}
+
+Distribution &
+Group::distribution(const std::string &name, const std::string &desc,
+                    int64_t min, int64_t max, unsigned buckets)
+{
+    auto it = _distributions.find(name);
+    if (it == _distributions.end()) {
+        it = _distributions
+                 .emplace(name, Distribution(name, desc, min, max, buckets))
+                 .first;
+    }
+    return it->second;
+}
+
+uint64_t
+Group::get(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+void
+Group::reset()
+{
+    for (auto &[name, c] : _counters)
+        c.reset();
+    for (auto &[name, d] : _distributions)
+        d.reset();
+}
+
+std::string
+Group::format() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, c] : _counters) {
+        oss << _name << "." << name << " " << c.value() << " # "
+            << c.desc() << "\n";
+    }
+    for (const auto &[name, d] : _distributions) {
+        oss << _name << "." << name << ".count " << d.count() << "\n";
+        oss << _name << "." << name << ".mean " << d.mean() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace stats
+} // namespace gpusimpow

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's stats: named
+ * scalar counters and distributions collected into groups, with a
+ * plain-text formatter. The cycle-level simulator registers one group
+ * per hardware structure; the power model consumes the counters as
+ * activity information (the alpha factors of Eq. 1 in the paper).
+ */
+
+#ifndef GPUSIMPOW_STATS_STATS_HH
+#define GPUSIMPOW_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+namespace stats {
+
+/** A named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    /** Increment by n events. */
+    void inc(uint64_t n = 1) { _value += n; }
+    /** Current count. */
+    uint64_t value() const { return _value; }
+    /** Reset to zero (between kernels / sampling intervals). */
+    void reset() { _value = 0; }
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    uint64_t _value = 0;
+};
+
+/**
+ * A bucketed histogram over a fixed integer range; out-of-range
+ * samples are clamped into the first/last bucket.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * @param name stat name
+     * @param desc human-readable description
+     * @param min lowest tracked sample value
+     * @param max highest tracked sample value
+     * @param num_buckets bucket count over [min, max]
+     */
+    Distribution(std::string name, std::string desc, int64_t min,
+                 int64_t max, unsigned num_buckets);
+
+    /** Record one sample. */
+    void sample(int64_t value);
+
+    /** Number of recorded samples. */
+    uint64_t count() const { return _count; }
+    /** Arithmetic mean of recorded samples. */
+    double mean() const;
+    /** Bucket contents for reporting. */
+    const std::vector<uint64_t> &buckets() const { return _buckets; }
+    /** Reset all buckets. */
+    void reset();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    int64_t _min = 0;
+    int64_t _max = 1;
+    std::vector<uint64_t> _buckets;
+    uint64_t _count = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A group of stats owned by one simulated structure. Groups register
+ * counters/distributions by name and can be dumped or reset together.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    /** Create (or fetch) a counter in this group. */
+    Counter &counter(const std::string &name, const std::string &desc);
+
+    /** Create (or fetch) a distribution in this group. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc, int64_t min,
+                               int64_t max, unsigned buckets);
+
+    /** Value of a counter, or 0 when it was never created. */
+    uint64_t get(const std::string &name) const;
+
+    /** Reset every stat in the group. */
+    void reset();
+
+    /** Render "group.stat value # desc" lines. */
+    std::string format() const;
+
+    const std::string &name() const { return _name; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return _counters;
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Distribution> _distributions;
+};
+
+} // namespace stats
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_STATS_STATS_HH

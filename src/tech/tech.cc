@@ -1,0 +1,141 @@
+#include "tech/tech.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace tech {
+
+namespace {
+
+/** One row of the built-in node table. */
+struct NodeRow
+{
+    double nm;
+    double vdd_nominal;
+    double hp_c_gate;   // fF/um
+    double hp_c_diff;   // fF/um
+    double hp_i_sub;    // nA/um @ 300 K
+    double hp_i_gate;   // nA/um
+    double lstp_i_sub;  // nA/um @ 300 K
+    double sram_cell_f2;
+};
+
+/**
+ * Built-in technology table. Values follow the ITRS trend lines used
+ * by McPAT/CACTI: gate capacitance per micron slowly decreasing, HP
+ * subthreshold leakage rising toward smaller nodes, SRAM cell size
+ * roughly constant in F^2.
+ */
+constexpr NodeRow node_table[] = {
+    // nm  vdd    cg    cd    isub   igate  lstp   cell
+    {65.0, 1.10, 1.10, 0.60, 200.0, 100.0, 0.30, 146.0},
+    {45.0, 1.05, 0.95, 0.52, 280.0, 150.0, 0.45, 146.0},
+    {40.0, 1.05, 0.90, 0.50, 310.0, 170.0, 0.50, 146.0},
+    {32.0, 1.00, 0.85, 0.47, 360.0, 200.0, 0.60, 146.0},
+    {28.0, 0.95, 0.80, 0.45, 400.0, 220.0, 0.70, 146.0},
+};
+
+constexpr int num_rows = sizeof(node_table) / sizeof(node_table[0]);
+
+/** Linear interpolation between table rows by feature size. */
+NodeRow
+interpolate(double nm)
+{
+    if (nm >= node_table[0].nm)
+        return node_table[0];
+    if (nm <= node_table[num_rows - 1].nm)
+        return node_table[num_rows - 1];
+    for (int i = 0; i < num_rows - 1; ++i) {
+        const NodeRow &a = node_table[i];
+        const NodeRow &b = node_table[i + 1];
+        if (nm <= a.nm && nm >= b.nm) {
+            double t = (a.nm - nm) / (a.nm - b.nm);
+            NodeRow r;
+            r.nm = nm;
+            r.vdd_nominal = a.vdd_nominal + t * (b.vdd_nominal - a.vdd_nominal);
+            r.hp_c_gate = a.hp_c_gate + t * (b.hp_c_gate - a.hp_c_gate);
+            r.hp_c_diff = a.hp_c_diff + t * (b.hp_c_diff - a.hp_c_diff);
+            r.hp_i_sub = a.hp_i_sub + t * (b.hp_i_sub - a.hp_i_sub);
+            r.hp_i_gate = a.hp_i_gate + t * (b.hp_i_gate - a.hp_i_gate);
+            r.lstp_i_sub = a.lstp_i_sub + t * (b.lstp_i_sub - a.lstp_i_sub);
+            r.sram_cell_f2 = a.sram_cell_f2 + t * (b.sram_cell_f2 - a.sram_cell_f2);
+            return r;
+        }
+    }
+    return node_table[num_rows - 1];
+}
+
+} // namespace
+
+double
+TechNode::tempLeakFactor() const
+{
+    // Subthreshold leakage roughly doubles every 20 K above 300 K.
+    return std::pow(2.0, (temperature - 300.0) / 20.0);
+}
+
+double
+TechNode::leakage(double w_um, DeviceType d) const
+{
+    const Device &dev = d == DeviceType::HP ? hp : lstp;
+    return w_um * dev.i_sub_per_um * tempLeakFactor() * vdd;
+}
+
+double
+TechNode::gateLeakage(double w_um, DeviceType d) const
+{
+    const Device &dev = d == DeviceType::HP ? hp : lstp;
+    // Gate leakage is only weakly temperature dependent.
+    return w_um * dev.i_gate_per_um * vdd;
+}
+
+double
+TechNode::switchEnergy(double c_farad) const
+{
+    return c_farad * vdd * vdd;
+}
+
+double
+TechNode::sramCellArea() const
+{
+    return sram_cell_f2 * feature_m * feature_m;
+}
+
+TechNode
+TechNode::make(unsigned node_nm, double vdd, double temperature)
+{
+    if (node_nm < 20 || node_nm > 90)
+        fatal("unsupported technology node ", node_nm,
+              " nm (supported: 28..65 nm)");
+    NodeRow row = interpolate(static_cast<double>(node_nm));
+
+    TechNode t;
+    t.feature_m = node_nm * 1e-9;
+    t.vdd = vdd > 0.0 ? vdd : row.vdd_nominal;
+    t.temperature = temperature;
+
+    t.hp.c_gate_per_um = row.hp_c_gate * 1e-15;  // fF/um -> F/um
+    t.hp.c_diff_per_um = row.hp_c_diff * 1e-15;
+    t.hp.i_sub_per_um = row.hp_i_sub * 1e-9;     // nA/um -> A/um
+    t.hp.i_gate_per_um = row.hp_i_gate * 1e-9;
+
+    t.lstp.c_gate_per_um = t.hp.c_gate_per_um * 1.1;
+    t.lstp.c_diff_per_um = t.hp.c_diff_per_um * 1.1;
+    t.lstp.i_sub_per_um = row.lstp_i_sub * 1e-9;
+    t.lstp.i_gate_per_um = t.hp.i_gate_per_um * 0.01;
+
+    // Wire parameters for the intermediate/semi-global layer; pitch
+    // and per-length RC scale with the node per ITRS trends.
+    double scale = static_cast<double>(node_nm) / 40.0;
+    t.c_wire_per_m = 0.20e-9;            // ~0.2 fF/um, node-insensitive
+    t.r_wire_per_m = 2.5e5 / scale;      // thinner wires resist more
+    t.wire_pitch_m = 4.0 * t.feature_m;
+    t.sram_cell_f2 = row.sram_cell_f2;
+    t.w_min_m = 2.0 * t.feature_m;
+    return t;
+}
+
+} // namespace tech
+} // namespace gpusimpow

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Technology tier of the power model (the role CACTI/McPAT's
+ * technology layer plays in the paper): per-process-node physical
+ * parameters — device capacitances, leakage current densities, wire
+ * RC, SRAM cell geometry — plus ITRS-roadmap-style scaling between
+ * nodes so one architecture can be projected across processes
+ * (paper SectionIII-B: "we can use the ITRS roadmap scaling
+ * techniques within McPAT").
+ *
+ * Two device flavors are exposed: HP (high performance, leaky) for
+ * logic and arrays in the core clock domain, and LSTP (low standby
+ * power) for large lower-speed arrays.
+ */
+
+#ifndef GPUSIMPOW_TECH_TECH_HH
+#define GPUSIMPOW_TECH_TECH_HH
+
+namespace gpusimpow {
+namespace tech {
+
+/** Transistor flavor per ITRS classification. */
+enum class DeviceType { HP, LSTP };
+
+/** Parameters of one device flavor at one node. */
+struct Device
+{
+    /** Gate capacitance per micron of gate width, F/um. */
+    double c_gate_per_um;
+    /** Source/drain diffusion capacitance per micron, F/um. */
+    double c_diff_per_um;
+    /** Subthreshold off-current per micron at 300 K, A/um. */
+    double i_sub_per_um;
+    /** Gate-leakage current per micron, A/um. */
+    double i_gate_per_um;
+};
+
+/**
+ * One process node. Instances come from TechNode::make(), which
+ * interpolates a built-in 65/45/40/32/28 nm table.
+ */
+struct TechNode
+{
+    /** Feature size in meters. */
+    double feature_m;
+    /** Nominal supply voltage, V. */
+    double vdd;
+    /** Junction temperature, K (affects subthreshold leakage). */
+    double temperature;
+
+    Device hp;
+    Device lstp;
+
+    /** Wire capacitance per meter (intermediate layer), F/m. */
+    double c_wire_per_m;
+    /** Wire resistance per meter (intermediate layer), ohm/m. */
+    double r_wire_per_m;
+    /** Wire pitch of the semi-global layer, m. */
+    double wire_pitch_m;
+    /** 6T SRAM cell area in squared feature sizes (F^2). */
+    double sram_cell_f2;
+    /** Minimum transistor width, m. */
+    double w_min_m;
+
+    /**
+     * Subthreshold leakage temperature multiplier relative to 300 K.
+     * Doubles roughly every 20 K, the usual rule of thumb.
+     */
+    double tempLeakFactor() const;
+
+    /** Leakage power of total device width w_um of flavor d, W. */
+    double leakage(double w_um, DeviceType d = DeviceType::HP) const;
+
+    /** Gate leakage power of total width w_um, W. */
+    double gateLeakage(double w_um, DeviceType d = DeviceType::HP) const;
+
+    /** Dynamic energy of switching capacitance c at full swing, J. */
+    double switchEnergy(double c_farad) const;
+
+    /** Area of one 6T SRAM cell, m^2. */
+    double sramCellArea() const;
+
+    /**
+     * Build a node description.
+     * @param node_nm feature size in nanometers (28..65 supported)
+     * @param vdd supply voltage; <= 0 selects the node's nominal Vdd
+     * @param temperature junction temperature in K
+     */
+    static TechNode make(unsigned node_nm, double vdd = -1.0,
+                         double temperature = 350.0);
+};
+
+} // namespace tech
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_TECH_TECH_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload registry: constructs the full Table I benchmark set (plus
+ * needle) and exposes the Fig. 6 kernel ordering.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_compute.hh"
+#include "workloads/wl_graph.hh"
+#include "workloads/wl_learning.hh"
+#include "workloads/wl_mergesort.hh"
+#include "workloads/wl_needle.hh"
+#include "workloads/wl_simple.hh"
+#include "workloads/wl_stencil.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(unsigned scale)
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    all.push_back(std::make_unique<Backprop>(scale));
+    all.push_back(std::make_unique<Heartwall>(scale));
+    all.push_back(std::make_unique<Kmeans>(scale));
+    all.push_back(std::make_unique<Pathfinder>(scale));
+    all.push_back(std::make_unique<Bfs>(scale));
+    all.push_back(std::make_unique<Hotspot>(scale));
+    all.push_back(std::make_unique<MatMul>(scale));
+    all.push_back(std::make_unique<BlackScholes>(scale));
+    all.push_back(std::make_unique<MergeSort>(scale));
+    all.push_back(std::make_unique<ScalarProd>(scale));
+    all.push_back(std::make_unique<VectorAdd>(scale));
+    all.push_back(std::make_unique<Needle>(scale));
+    return all;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, unsigned scale)
+{
+    for (auto &w : makeAllWorkloads(scale)) {
+        if (w->name() == name)
+            return std::move(w);
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+figure6KernelOrder()
+{
+    return {
+        "backprop1", "backprop2", "bfs1", "bfs2", "BlackScholes",
+        "heartwall", "hotspot", "kmeans1", "kmeans2", "matrixMul",
+        "mergeSort1", "mergeSort2", "mergeSort3", "mergeSort4",
+        "needle1", "needle2", "pathfinder", "scalarProd", "vectorAdd",
+    };
+}
+
+} // namespace workloads
+} // namespace gpusimpow

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared shorthand for kernel construction in the workload sources:
+ * terse operand constructors and deterministic input generators.
+ * Internal to the workloads library.
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_COMMON_HH
+#define GPUSIMPOW_WORKLOADS_WL_COMMON_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hh"
+#include "perf/isa.hh"
+#include "perf/kernel.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+using perf::Cmp;
+using perf::CmpType;
+using perf::KernelBuilder;
+using perf::Operand;
+using perf::SpecialReg;
+
+/** Register operand. */
+inline Operand R(unsigned r) { return Operand::reg(r); }
+/** Integer immediate operand. */
+inline Operand I(uint32_t v) { return Operand::imm(v); }
+/** Float immediate operand. */
+inline Operand F(float v) { return Operand::immf(v); }
+/** Special register operand. */
+inline Operand S(SpecialReg s) { return Operand::special(s); }
+
+/** Deterministic uniform floats in [lo, hi). */
+inline std::vector<float>
+randomFloats(size_t n, uint64_t seed, float lo = 0.0f, float hi = 1.0f)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = lo + (hi - lo) * static_cast<float>(rng.nextDouble());
+    return v;
+}
+
+/** Deterministic uniform integers in [0, bound). */
+inline std::vector<uint32_t>
+randomInts(size_t n, uint64_t seed, uint32_t bound)
+{
+    SplitMix64 rng(seed);
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.nextBounded(bound));
+    return v;
+}
+
+/** Relative-tolerance float comparison for verification. */
+inline bool
+closeEnough(float got, float want, float tol = 1e-3f)
+{
+    float diff = std::fabs(got - want);
+    float mag = std::fabs(want);
+    return diff <= tol * (mag > 1.0f ? mag : 1.0f);
+}
+
+/**
+ * Emit the canonical global-thread-index prologue:
+ * reg <- ctaid.x * ntid.x + tid.x.
+ */
+inline void
+emitGlobalTid(KernelBuilder &b, unsigned reg)
+{
+    b.imad(reg, S(SpecialReg::CtaIdX), S(SpecialReg::NTidX),
+           S(SpecialReg::TidX));
+}
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_COMMON_HH

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * matmul and blackscholes implementations.
+ */
+
+#include "workloads/wl_compute.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+namespace {
+constexpr unsigned tile = 16;
+} // namespace
+
+// ----------------------------------------------------------------
+// matmul
+// ----------------------------------------------------------------
+
+MatMul::MatMul(unsigned scale)
+    : Workload("matmul"), _n(64 * scale)
+{
+}
+
+std::string
+MatMul::description() const
+{
+    return "Matrix-matrix multiplication";
+}
+
+std::string
+MatMul::origin() const
+{
+    return "CUDA SDK";
+}
+
+std::vector<KernelLaunch>
+MatMul::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _n;
+    _a = randomFloats(n * n, 0xAA17, -1.0f, 1.0f);
+    _b = randomFloats(n * n, 0xBB18, -1.0f, 1.0f);
+    _addr_a = gpu.allocator().alloc(n * n * 4);
+    _addr_b = gpu.allocator().alloc(n * n * 4);
+    _addr_c = gpu.allocator().alloc(n * n * 4);
+    gpu.memcpyToDevice(_addr_a, _a.data(), n * n * 4);
+    gpu.memcpyToDevice(_addr_b, _b.data(), n * n * 4);
+
+    // Shared memory: As tile at 0, Bs tile at tile*tile*4.
+    const unsigned bs_base = tile * tile * 4;
+    KernelBuilder b("matrixMul", 18, 2 * tile * tile * 4);
+    b.mov(0, S(SpecialReg::TidX));
+    b.mov(1, S(SpecialReg::TidY));
+    b.imad(2, S(SpecialReg::CtaIdY), I(tile), R(1));   // row
+    b.imad(3, S(SpecialReg::CtaIdX), I(tile), R(0));   // col
+    b.mov(4, F(0.0f));                                 // acc
+    b.mov(5, I(0));                                    // tile index
+    b.imul(14, R(1), I(tile * 4));   // As row base (bytes)
+    b.imad(16, R(0), I(4), I(bs_base));  // Bs column base (bytes)
+
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(loop);
+    b.setp(0, Cmp::GE, CmpType::U32, R(5), I(_n / tile));
+    b.braIf(0, false, done, done);
+
+    // Load A[row][t*tile + tidx] into As[tidy][tidx].
+    b.imad(6, R(5), I(tile), R(0));
+    b.imad(7, R(2), I(n), R(6));
+    b.imad(7, R(7), I(4), I(_addr_a));
+    b.ldg(8, R(7));
+    b.imad(9, R(0), I(4), R(14));   // smem offset = tidy*64 + tidx*4
+    b.sts(R(9), R(8));
+    // Load B[t*tile + tidy][col] into Bs[tidy][tidx].
+    b.imad(10, R(5), I(tile), R(1));
+    b.imad(11, R(10), I(n), R(3));
+    b.imad(11, R(11), I(4), I(_addr_b));
+    b.ldg(12, R(11));
+    b.sts(R(9), R(12), static_cast<int32_t>(bs_base));
+    b.bar();
+
+    // acc += As[tidy][k] * Bs[k][tidx], unrolled.
+    for (unsigned k = 0; k < tile; ++k) {
+        b.lds(13, R(14), static_cast<int32_t>(k * 4));
+        b.lds(15, R(16), static_cast<int32_t>(k * tile * 4));
+        b.ffma(4, R(13), R(15), R(4));
+    }
+    b.bar();
+    b.iadd(5, R(5), I(1));
+    b.jump(loop);
+    b.bind(done);
+
+    b.imad(6, R(2), I(n), R(3));
+    b.imad(6, R(6), I(4), I(_addr_c));
+    b.stg(R(6), R(4));
+    b.exit();
+
+    KernelLaunch launch;
+    launch.label = "matrixMul";
+    launch.prog = b.finish();
+    launch.launch.grid = {n / tile, n / tile};
+    launch.launch.block = {tile, tile};
+    return {std::move(launch)};
+}
+
+bool
+MatMul::verify(perf::Gpu &gpu) const
+{
+    const unsigned n = _n;
+    std::vector<float> c(static_cast<size_t>(n) * n);
+    gpu.memcpyToHost(c.data(), _addr_c, n * n * 4);
+    for (unsigned row = 0; row < n; ++row) {
+        for (unsigned col = 0; col < n; ++col) {
+            float acc = 0.0f;
+            for (unsigned k = 0; k < n; ++k)
+                acc = _a[row * n + k] * _b[k * n + col] + acc;
+            if (!closeEnough(c[row * n + col], acc, 1e-3f))
+                return false;
+        }
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// blackscholes
+// ----------------------------------------------------------------
+
+namespace {
+
+constexpr float bs_riskfree = 0.02f;
+constexpr float bs_volatility = 0.30f;
+constexpr float ln2 = 0.69314718f;
+constexpr float log2e = 1.44269504f;
+constexpr float inv_sqrt_2pi = 0.39894228f;
+
+/** Cumulative normal distribution, Abramowitz-Stegun polynomial. */
+float
+cndHost(float d)
+{
+    const float a1 = 0.31938153f;
+    const float a2 = -0.356563782f;
+    const float a3 = 1.781477937f;
+    const float a4 = -1.821255978f;
+    const float a5 = 1.330274429f;
+    float ad = std::fabs(d);
+    float k = 1.0f / (1.0f + 0.2316419f * ad);
+    float poly =
+        k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))));
+    float pdf =
+        inv_sqrt_2pi * std::exp2f(-d * d * 0.5f * log2e);
+    float cnd = 1.0f - pdf * poly;
+    return d < 0.0f ? 1.0f - cnd : cnd;
+}
+
+} // namespace
+
+void
+BlackScholes::priceHost(float s, float x, float t, float r, float v,
+                        float &call, float &put)
+{
+    float sqrt_t = std::sqrt(t);
+    float d1 = (std::log2f(s / x) * ln2 + (r + 0.5f * v * v) * t) /
+               (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    float cnd1 = cndHost(d1);
+    float cnd2 = cndHost(d2);
+    float exp_rt = std::exp2f(-r * t * log2e);
+    call = s * cnd1 - x * exp_rt * cnd2;
+    put = x * exp_rt * (1.0f - cnd2) - s * (1.0f - cnd1);
+}
+
+BlackScholes::BlackScholes(unsigned scale)
+    : Workload("blackscholes"), _n(16384 * scale)
+{
+}
+
+std::string
+BlackScholes::description() const
+{
+    return "Black-Scholes PDE solver";
+}
+
+std::string
+BlackScholes::origin() const
+{
+    return "CUDA SDK";
+}
+
+namespace {
+
+/**
+ * Emit CND(R(d)) -> R(out). Uses registers r16..r22 as scratch.
+ * Leaves d intact.
+ */
+void
+emitCnd(KernelBuilder &b, unsigned d, unsigned out)
+{
+    const float a1 = 0.31938153f;
+    const float a2 = -0.356563782f;
+    const float a3 = 1.781477937f;
+    const float a4 = -1.821255978f;
+    const float a5 = 1.330274429f;
+    // r16 = |d|
+    b.fsub(16, F(0.0f), R(d));
+    b.fmax(16, R(d), R(16));
+    // r17 = k = 1 / (1 + 0.2316419 |d|)
+    b.ffma(17, R(16), F(0.2316419f), F(1.0f));
+    b.rcp(17, R(17));
+    // r18 = poly(k), Horner.
+    b.ffma(18, R(17), F(a5), F(a4));
+    b.ffma(18, R(17), R(18), F(a3));
+    b.ffma(18, R(17), R(18), F(a2));
+    b.ffma(18, R(17), R(18), F(a1));
+    b.fmul(18, R(18), R(17));
+    // r19 = pdf = inv_sqrt_2pi * 2^(-d^2/2 * log2e)
+    b.fmul(19, R(d), R(d));
+    b.fmul(19, R(19), F(-0.5f * log2e));
+    b.ex2(19, R(19));
+    b.fmul(19, R(19), F(inv_sqrt_2pi));
+    // r20 = cnd = 1 - pdf*poly
+    b.fmul(20, R(19), R(18));
+    b.fsub(20, F(1.0f), R(20));
+    // out = d < 0 ? 1 - cnd : cnd
+    b.setp(1, Cmp::LT, CmpType::F32, R(d), F(0.0f));
+    b.fsub(21, F(1.0f), R(20));
+    b.selp(out, 1, R(21), R(20));
+}
+
+} // namespace
+
+std::vector<KernelLaunch>
+BlackScholes::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _n;
+    _s = randomFloats(n, 0xB511, 5.0f, 30.0f);
+    _x = randomFloats(n, 0xB512, 1.0f, 100.0f);
+    _t = randomFloats(n, 0xB513, 0.25f, 10.0f);
+    _addr_s = gpu.allocator().alloc(n * 4);
+    _addr_x = gpu.allocator().alloc(n * 4);
+    _addr_t = gpu.allocator().alloc(n * 4);
+    _addr_call = gpu.allocator().alloc(n * 4);
+    _addr_put = gpu.allocator().alloc(n * 4);
+    gpu.memcpyToDevice(_addr_s, _s.data(), n * 4);
+    gpu.memcpyToDevice(_addr_x, _x.data(), n * 4);
+    gpu.memcpyToDevice(_addr_t, _t.data(), n * 4);
+
+    KernelBuilder b("BlackScholes", 24);
+    emitGlobalTid(b, 0);
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(loop);
+    b.setp(0, Cmp::GE, CmpType::U32, R(0), I(n));
+    b.braIf(0, false, done, done);
+
+    b.imad(1, R(0), I(4), I(_addr_s));
+    b.ldg(2, R(1));                     // S
+    b.imad(1, R(0), I(4), I(_addr_x));
+    b.ldg(3, R(1));                     // X
+    b.imad(1, R(0), I(4), I(_addr_t));
+    b.ldg(4, R(1));                     // T
+
+    // r5 = sqrt(T); r6 = v*sqrt(T)
+    b.fsqrt(5, R(4));
+    b.fmul(6, R(5), F(bs_volatility));
+    // r7 = d1 = (ln(S/X) + (r + v^2/2) T) / (v sqrt(T))
+    b.rcp(7, R(3));
+    b.fmul(7, R(2), R(7));
+    b.lg2(7, R(7));
+    b.fmul(7, R(7), F(ln2));
+    b.ffma(7, R(4),
+           F(bs_riskfree + 0.5f * bs_volatility * bs_volatility),
+           R(7));
+    b.rcp(8, R(6));
+    b.fmul(7, R(7), R(8));
+    // r9 = d2 = d1 - v sqrt(T)
+    b.fsub(9, R(7), R(6));
+
+    emitCnd(b, 7, 10);    // r10 = CND(d1)
+    emitCnd(b, 9, 11);    // r11 = CND(d2)
+
+    // r12 = X * exp(-rT)
+    b.fmul(12, R(4), F(-bs_riskfree * log2e));
+    b.ex2(12, R(12));
+    b.fmul(12, R(12), R(3));
+    // call = S*cnd1 - Xexp*cnd2
+    b.fmul(13, R(2), R(10));
+    b.fmul(14, R(12), R(11));
+    b.fsub(13, R(13), R(14));
+    // put = Xexp*(1-cnd2) - S*(1-cnd1)
+    b.fsub(14, F(1.0f), R(11));
+    b.fmul(14, R(12), R(14));
+    b.fsub(15, F(1.0f), R(10));
+    b.fmul(15, R(2), R(15));
+    b.fsub(14, R(14), R(15));
+
+    b.imad(1, R(0), I(4), I(_addr_call));
+    b.stg(R(1), R(13));
+    b.imad(1, R(0), I(4), I(_addr_put));
+    b.stg(R(1), R(14));
+
+    b.imul(22, S(SpecialReg::NTidX), S(SpecialReg::NCtaIdX));
+    b.iadd(0, R(0), R(22));
+    b.jump(loop);
+    b.bind(done);
+    b.exit();
+
+    KernelLaunch launch;
+    launch.label = "BlackScholes";
+    launch.prog = b.finish();
+    launch.launch.grid = {48, 1};
+    launch.launch.block = {256, 1};
+    return {std::move(launch)};
+}
+
+bool
+BlackScholes::verify(perf::Gpu &gpu) const
+{
+    std::vector<float> call(_n);
+    std::vector<float> put(_n);
+    gpu.memcpyToHost(call.data(), _addr_call, _n * 4);
+    gpu.memcpyToHost(put.data(), _addr_put, _n * 4);
+    for (unsigned i = 0; i < _n; ++i) {
+        float want_call = 0.0f;
+        float want_put = 0.0f;
+        priceHost(_s[i], _x[i], _t[i], bs_riskfree, bs_volatility,
+                  want_call, want_put);
+        if (!closeEnough(call[i], want_call, 2e-2f))
+            return false;
+        if (!closeEnough(put[i], want_put, 2e-2f))
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

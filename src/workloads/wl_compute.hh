@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Compute-heavy CUDA-SDK workloads: matmul (tiled shared-memory
+ * matrix multiply) and blackscholes (Black-Scholes PDE solver, the
+ * power-profile example of Table V).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_COMPUTE_HH
+#define GPUSIMPOW_WORKLOADS_WL_COMPUTE_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/** matmul: C = A x B with 16x16 shared-memory tiles. */
+class MatMul : public Workload
+{
+  public:
+    explicit MatMul(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _n;   // square matrix dimension
+    std::vector<float> _a;
+    std::vector<float> _b;
+    uint32_t _addr_a = 0;
+    uint32_t _addr_b = 0;
+    uint32_t _addr_c = 0;
+};
+
+/** blackscholes: European option pricing, FP+SFU dominated. */
+class BlackScholes : public Workload
+{
+  public:
+    explicit BlackScholes(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+    /** Host reference for one option (also used by tests). */
+    static void priceHost(float s, float x, float t, float r, float v,
+                          float &call, float &put);
+
+  private:
+    unsigned _n;
+    std::vector<float> _s;
+    std::vector<float> _x;
+    std::vector<float> _t;
+    uint32_t _addr_s = 0;
+    uint32_t _addr_x = 0;
+    uint32_t _addr_t = 0;
+    uint32_t _addr_call = 0;
+    uint32_t _addr_put = 0;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_COMPUTE_HH

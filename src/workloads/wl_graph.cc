@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Rodinia-style frontier BFS (kernels bfs1/bfs2).
+ */
+
+#include "workloads/wl_graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+Bfs::Bfs(unsigned scale)
+    : Workload("bfs"), _nodes(4096 * scale), _degree(6)
+{
+}
+
+std::string
+Bfs::description() const
+{
+    return "Breadth-first search";
+}
+
+std::string
+Bfs::origin() const
+{
+    return "Rodinia";
+}
+
+void
+Bfs::buildGraph()
+{
+    SplitMix64 rng(0xBF5 + _nodes);
+    _row_offsets.assign(_nodes + 1, 0);
+    std::vector<std::vector<uint32_t>> adj(_nodes);
+    // Ring backbone (guarantees connectivity) + random chords.
+    for (unsigned n = 0; n < _nodes; ++n) {
+        adj[n].push_back((n + 1) % _nodes);
+        for (unsigned d = 1; d < _degree; ++d)
+            adj[n].push_back(
+                static_cast<uint32_t>(rng.nextBounded(_nodes)));
+    }
+    _edges.clear();
+    for (unsigned n = 0; n < _nodes; ++n) {
+        _row_offsets[n] = static_cast<uint32_t>(_edges.size());
+        for (uint32_t e : adj[n])
+            _edges.push_back(e);
+    }
+    _row_offsets[_nodes] = static_cast<uint32_t>(_edges.size());
+
+    // Host reference BFS from node 0 and level count.
+    _host_cost.assign(_nodes, 0xffffffffu);
+    _host_cost[0] = 0;
+    std::queue<uint32_t> q;
+    q.push(0);
+    unsigned max_level = 0;
+    while (!q.empty()) {
+        uint32_t n = q.front();
+        q.pop();
+        for (uint32_t e = _row_offsets[n]; e < _row_offsets[n + 1]; ++e) {
+            uint32_t dest = _edges[e];
+            if (_host_cost[dest] == 0xffffffffu) {
+                _host_cost[dest] = _host_cost[n] + 1;
+                max_level = std::max(max_level, _host_cost[dest]);
+                q.push(dest);
+            }
+        }
+    }
+    _levels = max_level;
+}
+
+std::vector<KernelLaunch>
+Bfs::prepare(perf::Gpu &gpu)
+{
+    buildGraph();
+    const unsigned n = _nodes;
+    _addr_rows = gpu.allocator().alloc((n + 1) * 4);
+    _addr_edges = gpu.allocator().alloc(
+        static_cast<uint32_t>(_edges.size()) * 4);
+    _addr_frontier = gpu.allocator().alloc(n * 4);
+    _addr_updating = gpu.allocator().alloc(n * 4);
+    _addr_visited = gpu.allocator().alloc(n * 4);
+    _addr_cost = gpu.allocator().alloc(n * 4);
+
+    gpu.memcpyToDevice(_addr_rows, _row_offsets.data(), (n + 1) * 4);
+    gpu.memcpyToDevice(_addr_edges, _edges.data(), _edges.size() * 4);
+    std::vector<uint32_t> zeros(n, 0);
+    gpu.memcpyToDevice(_addr_updating, zeros.data(), n * 4);
+    std::vector<uint32_t> cost(n, 0xffffffffu);
+    cost[0] = 0;
+    gpu.memcpyToDevice(_addr_cost, cost.data(), n * 4);
+    std::vector<uint32_t> frontier(n, 0);
+    frontier[0] = 1;
+    gpu.memcpyToDevice(_addr_frontier, frontier.data(), n * 4);
+    std::vector<uint32_t> visited(n, 0);
+    visited[0] = 1;
+    gpu.memcpyToDevice(_addr_visited, visited.data(), n * 4);
+
+    // ---- bfs1: expand the frontier ----
+    KernelBuilder b1("bfsKernel1", 14);
+    emitGlobalTid(b1, 0);
+    auto k1_end = b1.newLabel();
+    // Bounds + frontier check.
+    b1.setp(0, Cmp::GE, CmpType::U32, R(0), I(n));
+    b1.braIf(0, false, k1_end, k1_end);
+    b1.imad(1, R(0), I(4), I(_addr_frontier));
+    b1.ldg(2, R(1));
+    b1.setp(0, Cmp::EQ, CmpType::U32, R(2), I(0));
+    b1.braIf(0, false, k1_end, k1_end);
+    b1.stg(R(1), I(0));                       // frontier[n] = 0
+    // my cost + 1
+    b1.imad(3, R(0), I(4), I(_addr_cost));
+    b1.ldg(4, R(3));
+    b1.iadd(4, R(4), I(1));
+    // edge range
+    b1.imad(5, R(0), I(4), I(_addr_rows));
+    b1.ldg(6, R(5));                          // start
+    b1.ldg(7, R(5), 4);                       // end
+    auto loop = b1.newLabel();
+    auto loop_end = b1.newLabel();
+    b1.bind(loop);
+    b1.setp(1, Cmp::GE, CmpType::U32, R(6), R(7));
+    b1.braIf(1, false, loop_end, loop_end);
+    b1.imad(8, R(6), I(4), I(_addr_edges));
+    b1.ldg(9, R(8));                          // dest node
+    b1.imad(10, R(9), I(4), I(_addr_visited));
+    b1.ldg(11, R(10));
+    b1.setp(2, Cmp::EQ, CmpType::U32, R(11), I(0));
+    b1.imad(12, R(9), I(4), I(_addr_cost));
+    b1.pred(2).stg(R(12), R(4));
+    b1.imad(13, R(9), I(4), I(_addr_updating));
+    b1.pred(2).stg(R(13), I(1));
+    b1.iadd(6, R(6), I(1));
+    b1.jump(loop);
+    b1.bind(loop_end);
+    b1.bind(k1_end);
+    b1.exit();
+
+    // ---- bfs2: commit the updating set ----
+    KernelBuilder b2("bfsKernel2", 8);
+    emitGlobalTid(b2, 0);
+    auto k2_end = b2.newLabel();
+    b2.setp(0, Cmp::GE, CmpType::U32, R(0), I(n));
+    b2.braIf(0, false, k2_end, k2_end);
+    b2.imad(1, R(0), I(4), I(_addr_updating));
+    b2.ldg(2, R(1));
+    b2.setp(0, Cmp::EQ, CmpType::U32, R(2), I(0));
+    b2.braIf(0, false, k2_end, k2_end);
+    b2.stg(R(1), I(0));
+    b2.imad(3, R(0), I(4), I(_addr_frontier));
+    b2.stg(R(3), I(1));
+    b2.imad(4, R(0), I(4), I(_addr_visited));
+    b2.stg(R(4), I(1));
+    b2.bind(k2_end);
+    b2.exit();
+
+    perf::KernelProgram p1 = b1.finish();
+    perf::KernelProgram p2 = b2.finish();
+
+    std::vector<KernelLaunch> seq;
+    perf::LaunchConfig lc;
+    lc.grid = {static_cast<unsigned>(divCeil(n, 256)), 1};
+    lc.block = {256, 1};
+    for (unsigned level = 0; level < _levels; ++level) {
+        KernelLaunch k1;
+        k1.label = "bfs1";
+        k1.prog = p1;
+        k1.launch = lc;
+        seq.push_back(std::move(k1));
+        KernelLaunch k2;
+        k2.label = "bfs2";
+        k2.prog = p2;
+        k2.launch = lc;
+        seq.push_back(std::move(k2));
+    }
+    return seq;
+}
+
+bool
+Bfs::verify(perf::Gpu &gpu) const
+{
+    std::vector<uint32_t> cost(_nodes);
+    gpu.memcpyToHost(cost.data(), _addr_cost, _nodes * 4);
+    for (unsigned i = 0; i < _nodes; ++i) {
+        if (cost[i] != _host_cost[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

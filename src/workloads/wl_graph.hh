@@ -1,0 +1,47 @@
+/**
+ * @file
+ * bfs: the Rodinia breadth-first-search benchmark (2 kernels),
+ * irregular control flow and uncoalesced neighbor accesses.
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_GRAPH_HH
+#define GPUSIMPOW_WORKLOADS_WL_GRAPH_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/** Frontier-based BFS over a random CSR graph. */
+class Bfs : public Workload
+{
+  public:
+    explicit Bfs(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _nodes;
+    unsigned _degree;
+    std::vector<uint32_t> _row_offsets;
+    std::vector<uint32_t> _edges;
+    std::vector<uint32_t> _host_cost;
+    unsigned _levels = 0;
+    uint32_t _addr_rows = 0;
+    uint32_t _addr_edges = 0;
+    uint32_t _addr_frontier = 0;
+    uint32_t _addr_updating = 0;
+    uint32_t _addr_visited = 0;
+    uint32_t _addr_cost = 0;
+
+    void buildGraph();
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_GRAPH_HH

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * kmeans, backprop, and heartwall implementations.
+ */
+
+#include "workloads/wl_learning.hh"
+
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+// ----------------------------------------------------------------
+// kmeans
+// ----------------------------------------------------------------
+
+Kmeans::Kmeans(unsigned scale)
+    : Workload("kmeans"), _points(16384 * scale), _clusters(8), _dims(4)
+{
+}
+
+std::string
+Kmeans::description() const
+{
+    return "k-means clustering";
+}
+
+std::string
+Kmeans::origin() const
+{
+    return "Rodinia";
+}
+
+std::vector<KernelLaunch>
+Kmeans::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _points;
+    const unsigned k = _clusters;
+    const unsigned d = _dims;
+    _features = randomFloats(static_cast<size_t>(n) * d, 0x6B31, 0.0f,
+                             16.0f);
+    _centroids = randomFloats(static_cast<size_t>(k) * d, 0x6B32, 0.0f,
+                              16.0f);
+    _addr_features = gpu.allocator().alloc(n * d * 4);
+    _addr_membership = gpu.allocator().alloc(n * 4);
+    _addr_counts = gpu.allocator().alloc(k * 4);
+    _addr_sums = gpu.allocator().alloc(k * d * 4);
+    gpu.memcpyToDevice(_addr_features, _features.data(), n * d * 4);
+    std::vector<uint32_t> zeros(static_cast<size_t>(k) * d, 0);
+    gpu.memcpyToDevice(_addr_counts, zeros.data(), k * 4);
+    gpu.memcpyToDevice(_addr_sums, zeros.data(), k * d * 4);
+    // Centroids live in the cached constant segment, as in Rodinia.
+    _addr_centroids = 0;
+    gpu.constMem().write(_addr_centroids, _centroids.data(), k * d * 4);
+
+    std::vector<KernelLaunch> seq;
+
+    // ---- kmeans1: nearest-centroid membership ----
+    {
+        KernelBuilder b("kmeansPoint", 16);
+        emitGlobalTid(b, 0);
+        b.imul(1, R(0), I(d * 4));
+        b.iadd(1, R(1), I(_addr_features));   // feature base addr
+        b.mov(2, F(1e30f));                   // best distance
+        b.mov(3, I(0));                       // best cluster
+        b.mov(4, I(0));                       // cluster index
+        auto loop = b.newLabel();
+        auto done = b.newLabel();
+        b.bind(loop);
+        b.setp(0, Cmp::GE, CmpType::U32, R(4), I(k));
+        b.braIf(0, false, done, done);
+        b.mov(5, F(0.0f));                    // dist
+        b.imul(6, R(4), I(d * 4));            // centroid offset
+        for (unsigned dim = 0; dim < 4; ++dim) {
+            b.ldg(7, R(1), static_cast<int32_t>(dim * 4));
+            b.ldc(8, R(6), static_cast<int32_t>(dim * 4));
+            b.fsub(9, R(7), R(8));
+            b.ffma(5, R(9), R(9), R(5));
+        }
+        b.setp(1, Cmp::LT, CmpType::F32, R(5), R(2));
+        b.selp(2, 1, R(5), R(2));
+        b.selp(3, 1, R(4), R(3));
+        b.iadd(4, R(4), I(1));
+        b.jump(loop);
+        b.bind(done);
+        b.imad(10, R(0), I(4), I(_addr_membership));
+        b.stg(R(10), R(3));
+        b.exit();
+        KernelLaunch kl;
+        kl.label = "kmeans1";
+        kl.prog = b.finish();
+        kl.launch.grid = {n / 256, 1};
+        kl.launch.block = {256, 1};
+        seq.push_back(std::move(kl));
+    }
+
+    // ---- kmeans2: centroid accumulation with atomics ----
+    {
+        KernelBuilder b("kmeansUpdate", 14);
+        emitGlobalTid(b, 0);
+        b.imad(1, R(0), I(4), I(_addr_membership));
+        b.ldg(2, R(1));                        // my cluster
+        b.imad(3, R(2), I(4), I(_addr_counts));
+        b.atomgAdd(4, R(3), I(1));
+        b.imul(5, R(0), I(d * 4));
+        b.iadd(5, R(5), I(_addr_features));
+        b.imul(6, R(2), I(d * 4));
+        b.iadd(6, R(6), I(_addr_sums));
+        for (unsigned dim = 0; dim < 4; ++dim) {
+            b.ldg(7, R(5), static_cast<int32_t>(dim * 4));
+            b.fmul(7, R(7), F(1024.0f));       // fixed-point scale
+            b.f2i(7, R(7));
+            b.atomgAdd(8, R(6), R(7), static_cast<int32_t>(dim * 4));
+        }
+        b.exit();
+        KernelLaunch kl;
+        kl.label = "kmeans2";
+        kl.prog = b.finish();
+        kl.launch.grid = {n / 256, 1};
+        kl.launch.block = {256, 1};
+        seq.push_back(std::move(kl));
+    }
+
+    return seq;
+}
+
+bool
+Kmeans::verify(perf::Gpu &gpu) const
+{
+    const unsigned n = _points;
+    const unsigned k = _clusters;
+    const unsigned d = _dims;
+    std::vector<uint32_t> membership(n);
+    std::vector<uint32_t> counts(k);
+    std::vector<int32_t> sums(static_cast<size_t>(k) * d);
+    gpu.memcpyToHost(membership.data(), _addr_membership, n * 4);
+    gpu.memcpyToHost(counts.data(), _addr_counts, k * 4);
+    gpu.memcpyToHost(sums.data(), _addr_sums, k * d * 4);
+
+    std::vector<uint32_t> want_counts(k, 0);
+    std::vector<int64_t> want_sums(static_cast<size_t>(k) * d, 0);
+    for (unsigned p = 0; p < n; ++p) {
+        float best = 1e30f;
+        unsigned best_k = 0;
+        for (unsigned c = 0; c < k; ++c) {
+            float dist = 0.0f;
+            for (unsigned dim = 0; dim < d; ++dim) {
+                float diff = _features[p * d + dim] -
+                             _centroids[c * d + dim];
+                dist = diff * diff + dist;
+            }
+            if (dist < best) {
+                best = dist;
+                best_k = c;
+            }
+        }
+        if (membership[p] != best_k)
+            return false;
+        ++want_counts[best_k];
+        for (unsigned dim = 0; dim < d; ++dim) {
+            want_sums[best_k * d + dim] += static_cast<int32_t>(
+                _features[p * d + dim] * 1024.0f);
+        }
+    }
+    for (unsigned c = 0; c < k; ++c) {
+        if (counts[c] != want_counts[c])
+            return false;
+        for (unsigned dim = 0; dim < d; ++dim) {
+            if (sums[c * d + dim] !=
+                static_cast<int32_t>(want_sums[c * d + dim])) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// backprop
+// ----------------------------------------------------------------
+
+Backprop::Backprop(unsigned scale)
+    : Workload("backprop"), _in(4096 * scale), _hid(64)
+{
+}
+
+std::string
+Backprop::description() const
+{
+    return "Multi-layer perceptron training";
+}
+
+std::string
+Backprop::origin() const
+{
+    return "Rodinia";
+}
+
+std::vector<KernelLaunch>
+Backprop::prepare(perf::Gpu &gpu)
+{
+    const unsigned in = _in;
+    const unsigned hid = _hid;
+    const unsigned threads = 256;
+    _input = randomFloats(in, 0xB901, -1.0f, 1.0f);
+    _weights = randomFloats(static_cast<size_t>(in) * hid, 0xB902,
+                            -0.1f, 0.1f);
+    _delta = randomFloats(hid, 0xB903, -0.5f, 0.5f);
+    _addr_input = gpu.allocator().alloc(in * 4);
+    _addr_weights = gpu.allocator().alloc(in * hid * 4);
+    _addr_hidden = gpu.allocator().alloc(hid * 4);
+    _addr_delta = gpu.allocator().alloc(hid * 4);
+    _addr_weights_out = gpu.allocator().alloc(in * hid * 4);
+    gpu.memcpyToDevice(_addr_input, _input.data(), in * 4);
+    gpu.memcpyToDevice(_addr_weights, _weights.data(), in * hid * 4);
+    gpu.memcpyToDevice(_addr_delta, _delta.data(), hid * 4);
+
+    std::vector<KernelLaunch> seq;
+
+    // ---- backprop1: layerforward (one block per hidden unit) ----
+    {
+        constexpr float log2e = 1.44269504f;
+        KernelBuilder b("layerforward", 14, threads * 4);
+        b.mov(0, S(SpecialReg::TidX));
+        b.mov(1, S(SpecialReg::CtaIdX));      // hidden unit j
+        b.mov(2, F(0.0f));                    // partial
+        b.mov(3, R(0));                       // i = tid
+        auto loop = b.newLabel();
+        auto loop_end = b.newLabel();
+        b.bind(loop);
+        b.setp(0, Cmp::GE, CmpType::U32, R(3), I(in));
+        b.braIf(0, false, loop_end, loop_end);
+        b.imad(4, R(3), I(4), I(_addr_input));
+        b.ldg(5, R(4));
+        // w[i][j]: row-major in x hid
+        b.imad(6, R(3), I(hid), R(1));
+        b.imad(6, R(6), I(4), I(_addr_weights));
+        b.ldg(7, R(6));
+        b.ffma(2, R(5), R(7), R(2));
+        b.iadd(3, R(3), I(threads));
+        b.jump(loop);
+        b.bind(loop_end);
+        // SMEM tree reduction.
+        b.imul(8, R(0), I(4));
+        b.sts(R(8), R(2));
+        b.bar();
+        for (unsigned stride = threads / 2; stride > 0; stride /= 2) {
+            auto skip = b.newLabel();
+            b.setp(1, Cmp::GE, CmpType::U32, R(0), I(stride));
+            b.braIf(1, false, skip, skip);
+            b.lds(9, R(8));
+            b.lds(10, R(8), static_cast<int32_t>(stride * 4));
+            b.fadd(9, R(9), R(10));
+            b.sts(R(8), R(9));
+            b.bind(skip);
+            b.bar();
+        }
+        // Thread 0: hidden[j] = sigmoid(sum).
+        auto skip_store = b.newLabel();
+        b.setp(2, Cmp::NE, CmpType::U32, R(0), I(0));
+        b.braIf(2, false, skip_store, skip_store);
+        b.lds(9, I(0));
+        b.fmul(9, R(9), F(-log2e));
+        b.ex2(9, R(9));
+        b.fadd(9, R(9), F(1.0f));
+        b.rcp(9, R(9));
+        b.imad(11, R(1), I(4), I(_addr_hidden));
+        b.stg(R(11), R(9));
+        b.bind(skip_store);
+        b.exit();
+        KernelLaunch kl;
+        kl.label = "backprop1";
+        kl.prog = b.finish();
+        kl.launch.grid = {hid, 1};
+        kl.launch.block = {threads, 1};
+        seq.push_back(std::move(kl));
+    }
+
+    // ---- backprop2: adjust_weights (coalesced FP updates) ----
+    {
+        constexpr float lr = 0.3f;
+        KernelBuilder b("adjust_weights", 12);
+        emitGlobalTid(b, 0);
+        // i = gtid / hid, j = gtid % hid (hid is a power of two).
+        unsigned hid_shift = floorLog2(hid);
+        b.ishr(1, R(0), I(hid_shift));
+        b.iand(2, R(0), I(hid - 1));
+        b.imad(3, R(2), I(4), I(_addr_delta));
+        b.ldg(4, R(3));                       // delta[j]
+        b.imad(5, R(1), I(4), I(_addr_input));
+        b.ldg(6, R(5));                       // input[i]
+        b.imad(7, R(0), I(4), I(_addr_weights));
+        b.ldg(8, R(7));                       // w
+        b.fmul(9, R(4), R(6));
+        b.ffma(8, R(9), F(lr), R(8));
+        b.imad(10, R(0), I(4), I(_addr_weights_out));
+        b.stg(R(10), R(8));
+        b.exit();
+        KernelLaunch kl;
+        kl.label = "backprop2";
+        kl.prog = b.finish();
+        kl.launch.grid = {in * hid / 256, 1};
+        kl.launch.block = {256, 1};
+        seq.push_back(std::move(kl));
+    }
+
+    return seq;
+}
+
+bool
+Backprop::verify(perf::Gpu &gpu) const
+{
+    constexpr float log2e = 1.44269504f;
+    const unsigned in = _in;
+    const unsigned hid = _hid;
+    const unsigned threads = 256;
+
+    std::vector<float> hidden(hid);
+    gpu.memcpyToHost(hidden.data(), _addr_hidden, hid * 4);
+    for (unsigned j = 0; j < hid; ++j) {
+        // Mirror the device summation order exactly.
+        std::vector<float> partial(threads, 0.0f);
+        for (unsigned t = 0; t < threads; ++t)
+            for (unsigned i = t; i < in; i += threads)
+                partial[t] =
+                    _input[i] * _weights[i * hid + j] + partial[t];
+        for (unsigned stride = threads / 2; stride > 0; stride /= 2)
+            for (unsigned t = 0; t < stride; ++t)
+                partial[t] += partial[t + stride];
+        float sig =
+            1.0f / (std::exp2f(-partial[0] * log2e) + 1.0f);
+        if (!closeEnough(hidden[j], sig, 1e-3f))
+            return false;
+    }
+
+    std::vector<float> wout(static_cast<size_t>(in) * hid);
+    gpu.memcpyToHost(wout.data(), _addr_weights_out, in * hid * 4);
+    for (unsigned i = 0; i < in; ++i) {
+        for (unsigned j = 0; j < hid; ++j) {
+            float want = _delta[j] * _input[i] * 0.3f +
+                         _weights[i * hid + j];
+            if (!closeEnough(wout[i * hid + j], want, 1e-3f))
+                return false;
+        }
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// heartwall
+// ----------------------------------------------------------------
+
+Heartwall::Heartwall(unsigned scale)
+    : Workload("heartwall"), _dim(96 * scale)
+{
+}
+
+std::string
+Heartwall::description() const
+{
+    return "Ultrasound image tracking";
+}
+
+std::string
+Heartwall::origin() const
+{
+    return "Rodinia";
+}
+
+std::vector<KernelLaunch>
+Heartwall::prepare(perf::Gpu &gpu)
+{
+    const unsigned d = _dim;
+    const unsigned w = _win;
+    _image = randomFloats(static_cast<size_t>(d) * d, 0x4EA1, 0.0f,
+                          1.0f);
+    _template = randomFloats(static_cast<size_t>(w) * w, 0x4EA2, 0.0f,
+                             1.0f);
+    _addr_image = gpu.allocator().alloc(d * d * 4);
+    _addr_out = gpu.allocator().alloc(d * d * 4);
+    gpu.memcpyToDevice(_addr_image, _image.data(), d * d * 4);
+    // Template in constant memory (address 1024 to avoid kmeans).
+    gpu.constMem().write(1024, _template.data(), w * w * 4);
+
+    KernelBuilder b("heartwall", 16);
+    b.imad(0, S(SpecialReg::CtaIdX), I(16), S(SpecialReg::TidX)); // x
+    b.imad(1, S(SpecialReg::CtaIdY), I(16), S(SpecialReg::TidY)); // y
+    b.imad(2, R(1), I(d), R(0));         // idx
+    b.imad(3, R(2), I(4), I(_addr_out));
+    // Boundary threads store zero and exit (divergent).
+    auto interior = b.newLabel();
+    auto boundary = b.newLabel();
+    auto end = b.newLabel();
+    b.setp(0, Cmp::LT, CmpType::U32, R(0), I(2));
+    b.setp(1, Cmp::GE, CmpType::U32, R(0), I(d - 2));
+    b.selp(4, 0, I(1), I(0));
+    b.selp(5, 1, I(1), I(0));
+    b.ior(4, R(4), R(5));
+    b.setp(0, Cmp::LT, CmpType::U32, R(1), I(2));
+    b.selp(5, 0, I(1), I(0));
+    b.ior(4, R(4), R(5));
+    b.setp(0, Cmp::GE, CmpType::U32, R(1), I(d - 2));
+    b.selp(5, 0, I(1), I(0));
+    b.ior(4, R(4), R(5));
+    b.setp(0, Cmp::NE, CmpType::U32, R(4), I(0));
+    b.braIf(0, false, boundary, end);
+    // Interior: 5x5 correlation with the constant-memory template,
+    // normalized by the local energy.
+    b.bind(interior);
+    b.mov(6, F(0.0f));                   // corr
+    b.mov(7, F(0.0f));                   // energy
+    for (unsigned wy = 0; wy < _win; ++wy) {
+        for (unsigned wx = 0; wx < _win; ++wx) {
+            int32_t off = (static_cast<int32_t>(wy) - 2) *
+                              static_cast<int32_t>(d) +
+                          (static_cast<int32_t>(wx) - 2);
+            b.iadd(8, R(2), I(static_cast<uint32_t>(off)));
+            b.imad(8, R(8), I(4), I(_addr_image));
+            b.ldg(9, R(8));
+            b.ldc(10, I(1024 + (wy * _win + wx) * 4));
+            b.ffma(6, R(9), R(10), R(6));
+            b.ffma(7, R(9), R(9), R(7));
+        }
+    }
+    b.fadd(7, R(7), F(1e-6f));
+    b.rsqrt(7, R(7));
+    b.fmul(6, R(6), R(7));
+    b.stg(R(3), R(6));
+    b.jump(end);
+    b.bind(boundary);
+    b.stg(R(3), F(0.0f));
+    b.bind(end);
+    b.exit();
+
+    KernelLaunch kl;
+    kl.label = "heartwall";
+    kl.prog = b.finish();
+    kl.launch.grid = {d / 16, d / 16};
+    kl.launch.block = {16, 16};
+    return {std::move(kl)};
+}
+
+bool
+Heartwall::verify(perf::Gpu &gpu) const
+{
+    const unsigned d = _dim;
+    std::vector<float> out(static_cast<size_t>(d) * d);
+    gpu.memcpyToHost(out.data(), _addr_out, d * d * 4);
+    for (unsigned y = 0; y < d; ++y) {
+        for (unsigned x = 0; x < d; ++x) {
+            float want = 0.0f;
+            if (x >= 2 && x < d - 2 && y >= 2 && y < d - 2) {
+                float corr = 0.0f;
+                float energy = 0.0f;
+                for (unsigned wy = 0; wy < _win; ++wy) {
+                    for (unsigned wx = 0; wx < _win; ++wx) {
+                        float img = _image[(y + wy - 2) * d +
+                                           (x + wx - 2)];
+                        corr = img * _template[wy * _win + wx] + corr;
+                        energy = img * img + energy;
+                    }
+                }
+                want = corr * (1.0f / std::sqrt(energy + 1e-6f));
+            }
+            if (!closeEnough(out[y * d + x], want, 1e-3f))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

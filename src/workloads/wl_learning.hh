@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Rodinia learning/imaging workloads: kmeans (2 kernels), backprop
+ * (2 kernels), and heartwall (1 kernel, constant-cache heavy).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_LEARNING_HH
+#define GPUSIMPOW_WORKLOADS_WL_LEARNING_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/** kmeans: distance/membership kernel + atomic centroid update. */
+class Kmeans : public Workload
+{
+  public:
+    explicit Kmeans(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _points;
+    unsigned _clusters;
+    unsigned _dims;
+    std::vector<float> _features;   // points x dims
+    std::vector<float> _centroids;  // clusters x dims
+    uint32_t _addr_features = 0;
+    uint32_t _addr_centroids = 0;
+    uint32_t _addr_membership = 0;
+    uint32_t _addr_counts = 0;
+    uint32_t _addr_sums = 0;        // fixed-point accumulators
+};
+
+/** backprop: layer-forward with SMEM reduction + weight adjust. */
+class Backprop : public Workload
+{
+  public:
+    explicit Backprop(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _in;     // input layer size
+    unsigned _hid;    // hidden layer size
+    std::vector<float> _input;
+    std::vector<float> _weights;    // (in x hid)
+    std::vector<float> _delta;      // hid
+    uint32_t _addr_input = 0;
+    uint32_t _addr_weights = 0;
+    uint32_t _addr_hidden = 0;
+    uint32_t _addr_delta = 0;
+    uint32_t _addr_weights_out = 0;
+};
+
+/** heartwall: window tracking against a constant-memory template. */
+class Heartwall : public Workload
+{
+  public:
+    explicit Heartwall(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _dim;       // square image dimension
+    unsigned _win = 5;   // correlation window
+    std::vector<float> _image;
+    std::vector<float> _template;
+    uint32_t _addr_image = 0;
+    uint32_t _addr_out = 0;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_LEARNING_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Four-kernel parallel merge sort (CUDA SDK flavor).
+ */
+
+#include "workloads/wl_mergesort.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+namespace {
+constexpr unsigned sort_threads = 128;  // threads for kernel 1
+} // namespace
+
+MergeSort::MergeSort(unsigned scale)
+    : Workload("mergesort"), _chunks(32 * scale), _chunk(256)
+{
+    GSP_ASSERT(_chunks % 2 == 0, "mergesort needs chunk pairs");
+}
+
+std::string
+MergeSort::description() const
+{
+    return "Parallel merge-sort";
+}
+
+std::string
+MergeSort::origin() const
+{
+    return "CUDA SDK";
+}
+
+std::vector<KernelLaunch>
+MergeSort::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _chunks * _chunk;
+    _keys = randomInts(n, 0x4D53, 1000000);
+    _addr_keys = gpu.allocator().alloc(n * 4);
+    _addr_ranks = gpu.allocator().alloc(n * 4);
+    _addr_limits = gpu.allocator().alloc((n / 4) * 4);
+    _addr_out = gpu.allocator().alloc(n * 4);
+    gpu.memcpyToDevice(_addr_keys, _keys.data(), n * 4);
+
+    std::vector<KernelLaunch> seq;
+
+    // ---- mergeSort1: odd-even transposition sort per chunk ----
+    {
+        KernelBuilder b("mergeSortShared", 14, _chunk * 4);
+        b.mov(0, S(SpecialReg::TidX));
+        b.imul(1, S(SpecialReg::CtaIdX), I(_chunk));
+        // Load two keys per thread into shared memory.
+        for (unsigned half = 0; half < 2; ++half) {
+            b.iadd(2, R(0), I(half * sort_threads));
+            b.iadd(3, R(1), R(2));
+            b.imad(3, R(3), I(4), I(_addr_keys));
+            b.ldg(4, R(3));
+            b.imul(5, R(2), I(4));
+            b.sts(R(5), R(4));
+        }
+        b.bar();
+        // Odd-even phases with predicated compare-exchange.
+        b.mov(6, I(0));   // phase
+        auto loop = b.newLabel();
+        auto done = b.newLabel();
+        b.bind(loop);
+        b.setp(0, Cmp::GE, CmpType::U32, R(6), I(_chunk));
+        b.braIf(0, false, done, done);
+        // idx = 2*tid + (phase & 1)
+        b.iand(7, R(6), I(1));
+        b.imad(8, R(0), I(2), R(7));
+        // valid = idx + 1 < chunk
+        b.iadd(9, R(8), I(1));
+        b.setp(1, Cmp::LT, CmpType::U32, R(9), I(_chunk));
+        b.imul(10, R(8), I(4));
+        b.pred(1).lds(11, R(10));
+        b.pred(1).lds(12, R(10), 4);
+        b.imin(13, R(11), R(12));
+        b.imax(11, R(11), R(12));
+        b.pred(1).sts(R(10), R(13));
+        b.pred(1).sts(R(10), R(11), 4);
+        b.bar();
+        b.iadd(6, R(6), I(1));
+        b.jump(loop);
+        b.bind(done);
+        // Write the sorted chunk back.
+        for (unsigned half = 0; half < 2; ++half) {
+            b.iadd(2, R(0), I(half * sort_threads));
+            b.imul(5, R(2), I(4));
+            b.lds(4, R(5));
+            b.iadd(3, R(1), R(2));
+            b.imad(3, R(3), I(4), I(_addr_keys));
+            b.stg(R(3), R(4));
+        }
+        b.exit();
+        KernelLaunch k;
+        k.label = "mergeSort1";
+        k.prog = b.finish();
+        k.launch.grid = {_chunks, 1};
+        k.launch.block = {sort_threads, 1};
+        seq.push_back(std::move(k));
+    }
+
+    // ---- mergeSort2: rank computation via binary search ----
+    // Blocks 2p rank chunk 2p's keys inside chunk 2p+1 (strict <);
+    // blocks 2p+1 rank chunk 2p+1's keys inside chunk 2p (<=),
+    // giving a stable merge position for every key.
+    {
+        KernelBuilder b("mergeSortRanks", 14);
+        b.mov(0, S(SpecialReg::TidX));
+        b.iand(1, S(SpecialReg::CtaIdX), I(1));        // parity
+        b.ishr(2, S(SpecialReg::CtaIdX), I(1));        // pair index
+        // own chunk = 2*pair + parity; sibling = 2*pair + 1-parity
+        b.imad(3, R(2), I(2), R(1));                   // own chunk id
+        b.isub(4, I(1), R(1));
+        b.imad(4, R(2), I(2), R(4));                   // sibling id
+        // key = keys[own*chunk + tid]
+        b.imad(5, R(3), I(_chunk), R(0));
+        b.imad(6, R(5), I(4), I(_addr_keys));
+        b.ldg(7, R(6));                                // key
+        // Branchless binary search over the sibling chunk. A
+        // lower_bound needs up to log2(chunk)+1 steps because the
+        // lo = mid+1 move does not halve exactly; every step is
+        // guarded with a lo < hi "continue" flag so extra steps are
+        // no-ops once converged.
+        b.mov(8, I(0));                                // lo
+        b.mov(9, I(_chunk));                           // hi
+        b.imul(10, R(4), I(_chunk));                   // sibling base
+        unsigned steps = 1;
+        for (unsigned c = _chunk; c > 1; c /= 2)
+            ++steps;
+        for (unsigned it = 0; it < steps; ++it) {
+            b.setp(0, Cmp::LT, CmpType::U32, R(8), R(9));  // continue?
+            b.iadd(11, R(8), R(9));
+            b.ishr(11, R(11), I(1));                   // mid
+            b.iadd(12, R(10), R(11));
+            b.imad(12, R(12), I(4), I(_addr_keys));
+            b.ldg(13, R(12));                          // v
+            // parity 0: v < key ; parity 1: v <= key
+            b.setp(1, Cmp::LT, CmpType::U32, R(13), R(7));
+            b.setp(2, Cmp::LE, CmpType::U32, R(13), R(7));
+            // Pick strict/loose comparison by block parity (uniform
+            // per block, so the selects do not diverge).
+            b.setp(3, Cmp::EQ, CmpType::U32, R(1), I(0));
+            b.selp(12, 1, I(1), I(0));  // strict result as int
+            b.selp(13, 2, I(1), I(0));  // loose result as int
+            b.selp(12, 3, R(12), R(13));   // chosen
+            b.selp(6, 0, I(1), I(0));      // continue flag as int
+            b.isub(13, I(1), R(12));       // !chosen
+            b.iand(13, R(13), R(6));       // hi-update flag
+            b.iand(12, R(12), R(6));       // lo-update flag
+            b.setp(1, Cmp::NE, CmpType::U32, R(12), I(0));
+            b.setp(2, Cmp::NE, CmpType::U32, R(13), I(0));
+            b.iadd(6, R(11), I(1));        // mid + 1
+            b.selp(8, 1, R(6), R(8));      // lo = p1 ? mid+1 : lo
+            b.selp(9, 2, R(11), R(9));     // hi = p2 ? mid : hi
+        }
+        // Recompute the ranks address clobbered during the search.
+        b.imad(5, R(3), I(_chunk), R(0));
+        // ranks[own*chunk + tid] = lo
+        b.imad(6, R(5), I(4), I(_addr_ranks));
+        b.stg(R(6), R(8));
+        b.exit();
+        KernelLaunch k;
+        k.label = "mergeSort2";
+        k.prog = b.finish();
+        k.launch.grid = {_chunks, 1};
+        k.launch.block = {_chunk, 1};
+        seq.push_back(std::move(k));
+    }
+
+    // ---- mergeSort3: rank/limit fixup (the ~1 ms short kernel the
+    // paper flags as a measurement artifact: it processes its data
+    // in place and cannot be re-run) ----
+    {
+        const unsigned fixup_iters = 1600;
+        KernelBuilder b("mergeSortLimits", 8);
+        emitGlobalTid(b, 0);
+        b.imad(1, R(0), I(4), I(_addr_ranks));
+        b.ldg(2, R(1));                    // rank value
+        // Only the first 8 lanes of each warp do the fixup (the
+        // kernel is latency-, not throughput-bound).
+        b.mov(7, S(SpecialReg::LaneId));
+        b.setp(1, Cmp::LT, CmpType::U32, R(7), I(8));
+        b.mov(3, I(0));
+        auto loop = b.newLabel();
+        auto done = b.newLabel();
+        b.bind(loop);
+        b.setp(0, Cmp::GE, CmpType::U32, R(3), I(fixup_iters));
+        b.braIf(0, false, done, done);
+        // Two Galois-LFSR steps per iteration (hash-style fixup).
+        for (unsigned u = 0; u < 2; ++u) {
+            b.pred(1).iand(4, R(2), I(1));
+            b.pred(1).isub(5, I(0), R(4));
+            b.pred(1).iand(5, R(5), I(0xB400));
+            b.pred(1).ishr(2, R(2), I(1));
+            b.pred(1).ixor(2, R(2), R(5));
+        }
+        b.iadd(3, R(3), I(1));
+        b.jump(loop);
+        b.bind(done);
+        b.iadd(2, R(2), R(0));
+        b.imad(6, R(0), I(4), I(_addr_limits));
+        b.stg(R(6), R(2));
+        b.exit();
+        KernelLaunch k;
+        k.label = "mergeSort3";
+        k.prog = b.finish();
+        k.launch.grid = {32, 1};
+        k.launch.block = {256, 1};
+        // In-place rank fixup: cannot be repeated for measurement
+        // (SectionV-A measurement-artifact discussion).
+        k.repeatable = false;
+        seq.push_back(std::move(k));
+    }
+
+    // ---- mergeSort4: scatter keys to merged positions ----
+    {
+        KernelBuilder b("mergeSortMerge", 12);
+        b.mov(0, S(SpecialReg::TidX));
+        b.ishr(1, S(SpecialReg::CtaIdX), I(1));        // pair
+        // element index within full array
+        b.imul(2, S(SpecialReg::CtaIdX), I(_chunk));
+        b.iadd(2, R(2), R(0));
+        b.imad(3, R(2), I(4), I(_addr_keys));
+        b.ldg(4, R(3));                                // key
+        b.imad(3, R(2), I(4), I(_addr_ranks));
+        b.ldg(5, R(3));                                // rank
+        // merged position = pair_base + tid + rank
+        b.imul(6, R(1), I(2 * _chunk));
+        b.iadd(6, R(6), R(0));
+        b.iadd(6, R(6), R(5));
+        b.imad(6, R(6), I(4), I(_addr_out));
+        b.stg(R(6), R(4));
+        b.exit();
+        KernelLaunch k;
+        k.label = "mergeSort4";
+        k.prog = b.finish();
+        k.launch.grid = {_chunks, 1};
+        k.launch.block = {_chunk, 1};
+        seq.push_back(std::move(k));
+    }
+
+    return seq;
+}
+
+bool
+MergeSort::verify(perf::Gpu &gpu) const
+{
+    const unsigned n = _chunks * _chunk;
+    std::vector<uint32_t> out(n);
+    gpu.memcpyToHost(out.data(), _addr_out, n * 4);
+    // Every chunk pair must now be one sorted run that is a
+    // permutation of the input pair.
+    for (unsigned p = 0; p < _chunks / 2; ++p) {
+        std::vector<uint32_t> want(_keys.begin() + p * 2 * _chunk,
+                                   _keys.begin() + (p + 1) * 2 * _chunk);
+        std::sort(want.begin(), want.end());
+        for (unsigned i = 0; i < 2 * _chunk; ++i) {
+            if (out[p * 2 * _chunk + i] != want[i])
+                return false;
+        }
+    }
+    // mergeSort3 result check: replicate the LFSR fixup on the host.
+    std::vector<uint32_t> ranks(n);
+    std::vector<uint32_t> limits(n / 4);
+    gpu.memcpyToHost(ranks.data(), _addr_ranks, n * 4);
+    gpu.memcpyToHost(limits.data(), _addr_limits, (n / 4) * 4);
+    for (unsigned g = 0; g < 8192 && g < n / 4; ++g) {
+        uint32_t v = ranks[g];
+        if (g % 32 < 8) {   // only the first 8 lanes run the fixup
+            for (unsigned it = 0; it < 1600 * 2; ++it) {
+                uint32_t lsb = v & 1;
+                v = (v >> 1) ^ ((0u - lsb) & 0xB400u);
+            }
+        }
+        if (limits[g] != v + g)
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

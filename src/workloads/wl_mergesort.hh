@@ -1,0 +1,47 @@
+/**
+ * @file
+ * mergesort: the four-kernel parallel merge sort of the CUDA SDK
+ * (Table I lists 4 kernels; mergeSort3 is the short 1 ms kernel the
+ * paper singles out as a measurement artifact).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_MERGESORT_HH
+#define GPUSIMPOW_WORKLOADS_WL_MERGESORT_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/**
+ * Four-stage parallel merge sort over 32-bit keys:
+ *  - mergeSort1: per-block odd-even sort of chunks in shared memory
+ *  - mergeSort2: sample-rank computation via binary search
+ *  - mergeSort3: rank/index fixup (deliberately tiny, ~short runtime)
+ *  - mergeSort4: elementary-interval merge of chunk pairs
+ */
+class MergeSort : public Workload
+{
+  public:
+    explicit MergeSort(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _chunks;
+    unsigned _chunk;   // keys per chunk (sorted by kernel 1)
+    std::vector<uint32_t> _keys;
+    uint32_t _addr_keys = 0;
+    uint32_t _addr_ranks = 0;
+    uint32_t _addr_limits = 0;
+    uint32_t _addr_out = 0;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_MERGESORT_HH

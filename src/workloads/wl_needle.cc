@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Needleman-Wunsch wavefront implementation.
+ */
+
+#include "workloads/wl_needle.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+Needle::Needle(unsigned scale)
+    : Workload("needle"), _n(128 * scale)
+{
+    GSP_ASSERT(_n % tile == 0, "needle size must be a tile multiple");
+}
+
+std::string
+Needle::description() const
+{
+    return "Needleman-Wunsch sequence alignment";
+}
+
+std::string
+Needle::origin() const
+{
+    return "Rodinia";
+}
+
+perf::KernelProgram
+Needle::buildKernel(unsigned s, bool second_half) const
+{
+    const unsigned n = _n;
+    const unsigned stride = n + 1;          // score row stride
+    const unsigned nt = n / tile;
+    const unsigned base_x = second_half ? s - (nt - 1) : 0;
+
+    KernelBuilder b(second_half ? "needle_cuda_2" : "needle_cuda_1", 16,
+                    17 * 17 * 4);
+    b.mov(0, S(SpecialReg::TidX));
+    b.iadd(1, S(SpecialReg::CtaIdX), I(base_x));   // tile x
+    b.isub(2, I(s), R(1));                         // tile y
+    b.imul(3, R(2), I(tile));                      // gy
+    b.imul(4, R(1), I(tile));                      // gx
+
+    // Top halo: s[0][tid+1] = score[gy][gx+tid+1]; thread 0 also the
+    // corner s[0][0] = score[gy][gx].
+    b.imad(5, R(3), I(stride), R(4));              // score idx of corner
+    b.iadd(6, R(5), R(0));
+    b.iadd(6, R(6), I(1));
+    b.imad(6, R(6), I(4), I(_addr_score));
+    b.ldg(7, R(6));
+    b.imad(8, R(0), I(4), I(4));                   // (tid+1)*4
+    b.sts(R(8), R(7));
+    auto no_corner = b.newLabel();
+    b.setp(0, Cmp::NE, CmpType::U32, R(0), I(0));
+    b.braIf(0, false, no_corner, no_corner);
+    b.imad(6, R(5), I(4), I(_addr_score));
+    b.ldg(7, R(6));
+    b.sts(I(0), R(7));
+    b.bind(no_corner);
+    // Left halo: s[tid+1][0] = score[gy+tid+1][gx].
+    b.iadd(6, R(3), R(0));
+    b.iadd(6, R(6), I(1));
+    b.imad(6, R(6), I(stride), R(4));
+    b.imad(6, R(6), I(4), I(_addr_score));
+    b.ldg(7, R(6));
+    b.imul(9, R(0), I(17 * 4));
+    b.iadd(9, R(9), I(17 * 4));                    // (tid+1)*17*4
+    b.sts(R(9), R(7));
+    b.bar();
+
+    // Internal wavefront: m = 0 .. 2*tile-2.
+    b.mov(10, I(0));
+    auto wave = b.newLabel();
+    auto wave_end = b.newLabel();
+    b.bind(wave);
+    b.setp(0, Cmp::GE, CmpType::U32, R(10), I(2 * tile - 1));
+    b.braIf(0, false, wave_end, wave_end);
+    // Active cell: tid <= m and m - tid < tile.
+    auto skip = b.newLabel();
+    b.setp(1, Cmp::GT, CmpType::U32, R(0), R(10));
+    b.isub(11, R(10), R(0));
+    b.setp(2, Cmp::GE, CmpType::U32, R(11), I(tile));
+    b.selp(12, 1, I(1), I(0));
+    b.selp(13, 2, I(1), I(0));
+    b.ior(12, R(12), R(13));
+    b.setp(1, Cmp::NE, CmpType::U32, R(12), I(0));
+    b.braIf(1, false, skip, skip);
+    // i = tid + 1 (row), j = m - tid + 1 (col) in the shared tile.
+    b.iadd(11, R(11), I(1));                       // j
+    // smem offsets: cell (i, j) at ((tid+1)*17 + j) * 4.
+    b.imad(12, R(11), I(4), R(9));                 // s[i][j] addr
+    // ref[(gy + tid)*n + gx + j - 1]
+    b.iadd(13, R(3), R(0));
+    b.imad(13, R(13), I(n), R(4));
+    b.iadd(13, R(13), R(11));
+    b.isub(13, R(13), I(1));
+    b.imad(13, R(13), I(4), I(_addr_ref));
+    b.ldg(13, R(13));
+    // up-left + ref
+    b.lds(14, R(12), -(17 * 4) - 4);
+    b.iadd(14, R(14), R(13));
+    // up - penalty
+    b.lds(15, R(12), -(17 * 4));
+    b.isub(15, R(15), I(penalty));
+    b.imax(14, R(14), R(15));
+    // left - penalty
+    b.lds(15, R(12), -4);
+    b.isub(15, R(15), I(penalty));
+    b.imax(14, R(14), R(15));
+    b.sts(R(12), R(14));
+    b.bind(skip);
+    b.bar();
+    b.iadd(10, R(10), I(1));
+    b.jump(wave);
+    b.bind(wave_end);
+
+    // Write the tile back: thread t stores row gy+t+1.
+    b.iadd(6, R(3), R(0));
+    b.iadd(6, R(6), I(1));
+    b.imad(6, R(6), I(stride), R(4));
+    b.imad(6, R(6), I(4), I(_addr_score));         // &score[gy+t+1][gx]
+    for (unsigned j = 1; j <= tile; ++j) {
+        b.lds(7, R(9), static_cast<int32_t>(j * 4));
+        b.stg(R(6), R(7), static_cast<int32_t>(j * 4));
+    }
+    b.exit();
+    return b.finish();
+}
+
+std::vector<KernelLaunch>
+Needle::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _n;
+    const unsigned stride = n + 1;
+    const unsigned nt = n / tile;
+
+    std::vector<uint32_t> refu =
+        randomInts(static_cast<size_t>(n) * n, 0x4E3D, 21);
+    _ref.assign(refu.size(), 0);
+    for (size_t i = 0; i < refu.size(); ++i)
+        _ref[i] = static_cast<int32_t>(refu[i]) - 10;   // -10..10
+
+    _addr_ref = gpu.allocator().alloc(n * n * 4);
+    _addr_score = gpu.allocator().alloc(stride * stride * 4);
+    gpu.memcpyToDevice(_addr_ref, _ref.data(), n * n * 4);
+
+    std::vector<int32_t> score(static_cast<size_t>(stride) * stride, 0);
+    for (unsigned i = 0; i <= n; ++i) {
+        score[static_cast<size_t>(i) * stride] =
+            -static_cast<int32_t>(i) * penalty;
+        score[i] = -static_cast<int32_t>(i) * penalty;
+    }
+    gpu.memcpyToDevice(_addr_score, score.data(),
+                       stride * stride * 4);
+
+    std::vector<KernelLaunch> seq;
+    // First half: diagonals s = 0..nt-1 (s tiles have x+y == s).
+    for (unsigned s = 0; s < nt; ++s) {
+        KernelLaunch k;
+        k.label = "needle1";
+        k.prog = buildKernel(s, false);
+        k.launch.grid = {s + 1, 1};
+        k.launch.block = {tile, 1};
+        seq.push_back(std::move(k));
+    }
+    // Second half: diagonals s = nt..2nt-2.
+    for (unsigned s = nt; s <= 2 * nt - 2; ++s) {
+        KernelLaunch k;
+        k.label = "needle2";
+        k.prog = buildKernel(s, true);
+        k.launch.grid = {2 * nt - 1 - s, 1};
+        k.launch.block = {tile, 1};
+        seq.push_back(std::move(k));
+    }
+    return seq;
+}
+
+bool
+Needle::verify(perf::Gpu &gpu) const
+{
+    const unsigned n = _n;
+    const unsigned stride = n + 1;
+    std::vector<int32_t> want(static_cast<size_t>(stride) * stride, 0);
+    for (unsigned i = 0; i <= n; ++i) {
+        want[static_cast<size_t>(i) * stride] =
+            -static_cast<int32_t>(i) * penalty;
+        want[i] = -static_cast<int32_t>(i) * penalty;
+    }
+    for (unsigned i = 1; i <= n; ++i) {
+        for (unsigned j = 1; j <= n; ++j) {
+            int32_t ul = want[(i - 1) * stride + (j - 1)] +
+                         _ref[(i - 1) * n + (j - 1)];
+            int32_t up = want[(i - 1) * stride + j] - penalty;
+            int32_t left = want[i * stride + (j - 1)] - penalty;
+            want[i * stride + j] = std::max(ul, std::max(up, left));
+        }
+    }
+    std::vector<int32_t> got(static_cast<size_t>(stride) * stride);
+    gpu.memcpyToHost(got.data(), _addr_score, stride * stride * 4);
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != want[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * needle: Needleman-Wunsch sequence alignment (Rodinia), the
+ * two-kernel wavefront workload of Fig. 6 (needle1/needle2).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_NEEDLE_HH
+#define GPUSIMPOW_WORKLOADS_WL_NEEDLE_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/**
+ * Tile-wavefront Needleman-Wunsch: needle1 sweeps the upper-left
+ * tile diagonals, needle2 the lower-right ones. Inside a tile, 16
+ * threads advance an internal wavefront with barriers — heavily
+ * divergent and barrier-bound, matching the Rodinia kernel.
+ */
+class Needle : public Workload
+{
+  public:
+    explicit Needle(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    static constexpr unsigned tile = 16;
+    static constexpr int penalty = 10;
+
+    unsigned _n;   // sequence length (multiple of tile)
+    std::vector<int32_t> _ref;     // n x n similarity matrix
+    uint32_t _addr_ref = 0;
+    uint32_t _addr_score = 0;      // (n+1) x (n+1) DP matrix
+
+    perf::KernelProgram buildKernel(unsigned diag, bool second_half)
+        const;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_NEEDLE_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The two CUDA-SDK vector workloads of Table I: vectoradd (addition
+ * of two vectors) and scalarprod (scalar product with a per-block
+ * shared-memory reduction).
+ */
+
+#include "workloads/wl_simple.hh"
+
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+// ----------------------------------------------------------------
+// vectorAdd: C[i] = A[i] + B[i]. Perfectly coalesced, memory bound.
+// ----------------------------------------------------------------
+
+VectorAdd::VectorAdd(unsigned scale)
+    : Workload("vectoradd"), _n(65536 * scale)
+{
+}
+
+std::string
+VectorAdd::description() const
+{
+    return "Addition of two vectors";
+}
+
+std::string
+VectorAdd::origin() const
+{
+    return "CUDA SDK";
+}
+
+std::vector<KernelLaunch>
+VectorAdd::prepare(perf::Gpu &gpu)
+{
+    _a = randomFloats(_n, 0xA0A0 + _n, -8.0f, 8.0f);
+    _b = randomFloats(_n, 0xB0B0 + _n, -8.0f, 8.0f);
+    _addr_a = gpu.allocator().alloc(_n * 4);
+    _addr_b = gpu.allocator().alloc(_n * 4);
+    _addr_c = gpu.allocator().alloc(_n * 4);
+    gpu.memcpyToDevice(_addr_a, _a.data(), _n * 4);
+    gpu.memcpyToDevice(_addr_b, _b.data(), _n * 4);
+
+    KernelBuilder b("vectorAdd", 8);
+    emitGlobalTid(b, 0);
+    // Grid-stride loop so any launch geometry covers all elements.
+    auto loop = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(loop);
+    b.setp(0, Cmp::GE, CmpType::U32, R(0), I(_n));
+    b.braIf(0, false, done, done);
+    b.imad(1, R(0), I(4), I(_addr_a));
+    b.ldg(2, R(1));
+    b.imad(3, R(0), I(4), I(_addr_b));
+    b.ldg(4, R(3));
+    b.fadd(5, R(2), R(4));
+    b.imad(6, R(0), I(4), I(_addr_c));
+    b.stg(R(6), R(5));
+    b.imul(7, S(SpecialReg::NTidX), S(SpecialReg::NCtaIdX));
+    b.iadd(0, R(0), R(7));
+    b.jump(loop);
+    b.bind(done);
+    b.exit();
+
+    KernelLaunch launch;
+    launch.label = "vectorAdd";
+    launch.prog = b.finish();
+    launch.launch.grid = {64, 1};
+    launch.launch.block = {256, 1};
+    return {std::move(launch)};
+}
+
+bool
+VectorAdd::verify(perf::Gpu &gpu) const
+{
+    std::vector<float> c(_n);
+    gpu.memcpyToHost(c.data(), _addr_c, _n * 4);
+    for (size_t i = 0; i < _n; ++i) {
+        if (!closeEnough(c[i], _a[i] + _b[i], 1e-6f))
+            return false;
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// scalarProd: per-block dot product over a chunk, shared-memory
+// tree reduction with divergent guard branches.
+// ----------------------------------------------------------------
+
+ScalarProd::ScalarProd(unsigned scale)
+    : Workload("scalarprod"), _blocks(64), _chunk(2048 * scale)
+{
+}
+
+std::string
+ScalarProd::description() const
+{
+    return "Scalar product of two vectors";
+}
+
+std::string
+ScalarProd::origin() const
+{
+    return "CUDA SDK";
+}
+
+std::vector<KernelLaunch>
+ScalarProd::prepare(perf::Gpu &gpu)
+{
+    const unsigned n = _blocks * _chunk;
+    const unsigned threads = 256;
+    _a = randomFloats(n, 0x51CA, -1.0f, 1.0f);
+    _b = randomFloats(n, 0x52CB, -1.0f, 1.0f);
+    _addr_a = gpu.allocator().alloc(n * 4);
+    _addr_b = gpu.allocator().alloc(n * 4);
+    _addr_out = gpu.allocator().alloc(_blocks * 4);
+    gpu.memcpyToDevice(_addr_a, _a.data(), n * 4);
+    gpu.memcpyToDevice(_addr_b, _b.data(), n * 4);
+
+    KernelBuilder b("scalarProd", 12, threads * 4);
+    // r0 = tid, r1 = chunk base element, r2 = running index
+    b.mov(0, S(SpecialReg::TidX));
+    b.imul(1, S(SpecialReg::CtaIdX), I(_chunk));
+    b.iadd(2, R(1), R(0));
+    b.iadd(3, R(1), I(_chunk));       // chunk end
+    b.mov(4, F(0.0f));                // accumulator
+    auto loop = b.newLabel();
+    auto loop_end = b.newLabel();
+    b.bind(loop);
+    b.setp(0, Cmp::GE, CmpType::U32, R(2), R(3));
+    b.braIf(0, false, loop_end, loop_end);
+    b.imad(5, R(2), I(4), I(_addr_a));
+    b.ldg(6, R(5));
+    b.imad(7, R(2), I(4), I(_addr_b));
+    b.ldg(8, R(7));
+    b.ffma(4, R(6), R(8), R(4));
+    b.iadd(2, R(2), I(threads));
+    b.jump(loop);
+    b.bind(loop_end);
+
+    // smem[tid] = partial; tree reduction.
+    b.imul(9, R(0), I(4));
+    b.sts(R(9), R(4));
+    b.bar();
+    for (unsigned stride = threads / 2; stride > 0; stride /= 2) {
+        auto skip = b.newLabel();
+        b.setp(1, Cmp::GE, CmpType::U32, R(0), I(stride));
+        b.braIf(1, false, skip, skip);
+        b.lds(10, R(9));
+        b.lds(11, R(9), static_cast<int32_t>(stride * 4));
+        b.fadd(10, R(10), R(11));
+        b.sts(R(9), R(10));
+        b.bind(skip);
+        b.bar();
+    }
+    // Thread 0 writes the block result.
+    auto no_write = b.newLabel();
+    b.setp(2, Cmp::NE, CmpType::U32, R(0), I(0));
+    b.braIf(2, false, no_write, no_write);
+    b.lds(10, I(0));
+    b.imad(5, S(SpecialReg::CtaIdX), I(4), I(_addr_out));
+    b.stg(R(5), R(10));
+    b.bind(no_write);
+    b.exit();
+
+    KernelLaunch launch;
+    launch.label = "scalarProd";
+    launch.prog = b.finish();
+    launch.launch.grid = {_blocks, 1};
+    launch.launch.block = {threads, 1};
+    return {std::move(launch)};
+}
+
+bool
+ScalarProd::verify(perf::Gpu &gpu) const
+{
+    std::vector<float> out(_blocks);
+    gpu.memcpyToHost(out.data(), _addr_out, _blocks * 4);
+    for (unsigned blk = 0; blk < _blocks; ++blk) {
+        // Reproduce the device summation order: per-thread strided
+        // partials, then a pairwise tree.
+        const unsigned threads = 256;
+        std::vector<float> partial(threads, 0.0f);
+        for (unsigned t = 0; t < threads; ++t) {
+            for (unsigned i = blk * _chunk + t; i < (blk + 1) * _chunk;
+                 i += threads) {
+                partial[t] = _a[i] * _b[i] + partial[t];
+            }
+        }
+        for (unsigned stride = threads / 2; stride > 0; stride /= 2)
+            for (unsigned t = 0; t < stride; ++t)
+                partial[t] += partial[t + stride];
+        if (!closeEnough(out[blk], partial[0], 1e-3f))
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

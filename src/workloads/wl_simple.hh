@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CUDA-SDK vector workloads: vectoradd and scalarprod (Table I).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_SIMPLE_HH
+#define GPUSIMPOW_WORKLOADS_WL_SIMPLE_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/** vectoradd: C = A + B, perfectly coalesced and memory bound. */
+class VectorAdd : public Workload
+{
+  public:
+    explicit VectorAdd(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _n;
+    std::vector<float> _a;
+    std::vector<float> _b;
+    uint32_t _addr_a = 0;
+    uint32_t _addr_b = 0;
+    uint32_t _addr_c = 0;
+};
+
+/** scalarprod: per-block dot products with SMEM tree reduction. */
+class ScalarProd : public Workload
+{
+  public:
+    explicit ScalarProd(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _blocks;
+    unsigned _chunk;
+    std::vector<float> _a;
+    std::vector<float> _b;
+    uint32_t _addr_a = 0;
+    uint32_t _addr_b = 0;
+    uint32_t _addr_out = 0;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_SIMPLE_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * hotspot and pathfinder implementations.
+ */
+
+#include "workloads/wl_stencil.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "workloads/wl_common.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+// ----------------------------------------------------------------
+// hotspot
+// ----------------------------------------------------------------
+
+namespace {
+constexpr float hs_c1 = 0.15f;   // lateral conduction coefficient
+constexpr float hs_c2 = 0.0625f; // power injection coefficient
+} // namespace
+
+Hotspot::Hotspot(unsigned scale)
+    : Workload("hotspot"), _dim(128 * scale), _steps(2)
+{
+}
+
+std::string
+Hotspot::description() const
+{
+    return "Processor temperature estimation";
+}
+
+std::string
+Hotspot::origin() const
+{
+    return "Rodinia";
+}
+
+std::vector<KernelLaunch>
+Hotspot::prepare(perf::Gpu &gpu)
+{
+    const unsigned d = _dim;
+    _temp = randomFloats(static_cast<size_t>(d) * d, 0x407, 40.0f, 90.0f);
+    _power = randomFloats(static_cast<size_t>(d) * d, 0x408, 0.0f, 8.0f);
+    _addr_t_in = gpu.allocator().alloc(d * d * 4);
+    _addr_t_out = gpu.allocator().alloc(d * d * 4);
+    _addr_p = gpu.allocator().alloc(d * d * 4);
+    gpu.memcpyToDevice(_addr_t_in, _temp.data(), d * d * 4);
+    gpu.memcpyToDevice(_addr_p, _power.data(), d * d * 4);
+
+    auto build = [&](uint32_t src, uint32_t dst) {
+        KernelBuilder b("hotspot", 20);
+        b.imad(0, S(SpecialReg::CtaIdX), I(16), S(SpecialReg::TidX));
+        b.imad(1, S(SpecialReg::CtaIdY), I(16), S(SpecialReg::TidY));
+        b.imad(2, R(1), I(d), R(0));            // idx = y*d + x
+        b.imad(3, R(2), I(4), I(src));
+        b.ldg(4, R(3));                          // t_c
+        b.imad(5, R(2), I(4), I(_addr_p));
+        b.ldg(6, R(5));                          // p_c
+        // Clamped neighbor indices via predicated selects.
+        // up: y > 0 ? idx - d : idx
+        b.setp(0, Cmp::GT, CmpType::U32, R(1), I(0));
+        b.isub(7, R(2), I(d));
+        b.selp(7, 0, R(7), R(2));
+        b.imad(7, R(7), I(4), I(src));
+        b.ldg(8, R(7));                          // t_up
+        // down: y < d-1 ? idx + d : idx
+        b.setp(1, Cmp::LT, CmpType::U32, R(1), I(d - 1));
+        b.iadd(9, R(2), I(d));
+        b.selp(9, 1, R(9), R(2));
+        b.imad(9, R(9), I(4), I(src));
+        b.ldg(10, R(9));                         // t_down
+        // left: x > 0 ? idx - 1 : idx
+        b.setp(2, Cmp::GT, CmpType::U32, R(0), I(0));
+        b.isub(11, R(2), I(1));
+        b.selp(11, 2, R(11), R(2));
+        b.imad(11, R(11), I(4), I(src));
+        b.ldg(12, R(11));                        // t_left
+        // right: x < d-1 ? idx + 1 : idx
+        b.setp(3, Cmp::LT, CmpType::U32, R(0), I(d - 1));
+        b.iadd(13, R(2), I(1));
+        b.selp(13, 3, R(13), R(2));
+        b.imad(13, R(13), I(4), I(src));
+        b.ldg(14, R(13));                        // t_right
+        // result = t_c + c1*(up+down-2c) + c1*(left+right-2c) + c2*p
+        b.fadd(15, R(8), R(10));
+        b.fadd(16, R(4), R(4));
+        b.fsub(15, R(15), R(16));
+        b.fmul(15, R(15), F(hs_c1));
+        b.fadd(17, R(12), R(14));
+        b.fsub(17, R(17), R(16));
+        b.ffma(15, R(17), F(hs_c1), R(15));
+        b.ffma(15, R(6), F(hs_c2), R(15));
+        b.fadd(15, R(15), R(4));
+        b.imad(18, R(2), I(4), I(dst));
+        b.stg(R(18), R(15));
+        b.exit();
+        return b.finish();
+    };
+
+    std::vector<KernelLaunch> seq;
+    uint32_t src = _addr_t_in;
+    uint32_t dst = _addr_t_out;
+    for (unsigned s = 0; s < _steps; ++s) {
+        KernelLaunch k;
+        k.label = "hotspot";
+        k.prog = build(src, dst);
+        k.launch.grid = {d / 16, d / 16};
+        k.launch.block = {16, 16};
+        seq.push_back(std::move(k));
+        std::swap(src, dst);
+    }
+    return seq;
+}
+
+bool
+Hotspot::verify(perf::Gpu &gpu) const
+{
+    const unsigned d = _dim;
+    std::vector<float> cur = _temp;
+    std::vector<float> next(cur.size());
+    for (unsigned s = 0; s < _steps; ++s) {
+        for (unsigned y = 0; y < d; ++y) {
+            for (unsigned x = 0; x < d; ++x) {
+                size_t idx = static_cast<size_t>(y) * d + x;
+                float c = cur[idx];
+                float up = y > 0 ? cur[idx - d] : c;
+                float down = y < d - 1 ? cur[idx + d] : c;
+                float left = x > 0 ? cur[idx - 1] : c;
+                float right = x < d - 1 ? cur[idx + 1] : c;
+                float r = (up + down - 2.0f * c) * hs_c1;
+                r = (left + right - 2.0f * c) * hs_c1 + r;
+                r = _power[idx] * hs_c2 + r;
+                next[idx] = r + c;
+            }
+        }
+        std::swap(cur, next);
+    }
+    // After an even number of steps the result is in t_in's buffer
+    // only if steps is even... the device ping-pongs starting at
+    // t_in, so the final data lives in t_out for odd steps, t_in
+    // for even steps > 0.
+    uint32_t final_addr = (_steps % 2 == 1) ? _addr_t_out : _addr_t_in;
+    std::vector<float> got(static_cast<size_t>(d) * d);
+    gpu.memcpyToHost(got.data(), final_addr, d * d * 4);
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (!closeEnough(got[i], cur[i], 1e-3f))
+            return false;
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------
+// pathfinder
+// ----------------------------------------------------------------
+
+Pathfinder::Pathfinder(unsigned scale)
+    : Workload("pathfinder"), _cols(2048 * scale), _rows(8)
+{
+}
+
+std::string
+Pathfinder::description() const
+{
+    return "Dynamic programming path search";
+}
+
+std::string
+Pathfinder::origin() const
+{
+    return "Rodinia";
+}
+
+std::vector<KernelLaunch>
+Pathfinder::prepare(perf::Gpu &gpu)
+{
+    const unsigned cols = _cols;
+    const unsigned threads = 256;
+    _wall = randomInts(static_cast<size_t>(cols) * _rows, 0x9A7F + cols,
+                       10);
+    _addr_wall = gpu.allocator().alloc(cols * _rows * 4);
+    _addr_src = gpu.allocator().alloc(cols * 4);
+    _addr_dst = gpu.allocator().alloc(cols * 4);
+    gpu.memcpyToDevice(_addr_wall, _wall.data(), cols * _rows * 4);
+    // Row 0 seeds the DP.
+    gpu.memcpyToDevice(_addr_src, _wall.data(), cols * 4);
+
+    auto build = [&](unsigned row, uint32_t src, uint32_t dst) {
+        KernelBuilder b("dynproc_kernel", 14, (threads + 2) * 4);
+        b.mov(0, S(SpecialReg::TidX));
+        b.imad(1, S(SpecialReg::CtaIdX), I(threads), R(0)); // gx
+        // smem[tid+1] = src[gx]
+        b.imad(2, R(1), I(4), I(src));
+        b.ldg(3, R(2));
+        b.imad(4, R(0), I(4), I(4));     // (tid+1)*4
+        b.sts(R(4), R(3));
+        // halo loads by the edge threads (divergent on purpose)
+        auto no_left = b.newLabel();
+        b.setp(0, Cmp::NE, CmpType::U32, R(0), I(0));
+        b.braIf(0, false, no_left, no_left);
+        // left halo: gx>0 ? src[gx-1] : INT_MAX/2
+        b.setp(1, Cmp::GT, CmpType::U32, R(1), I(0));
+        b.isub(5, R(1), I(1));
+        b.imad(5, R(5), I(4), I(src));
+        b.mov(6, I(0x3fffffff));
+        b.pred(1).ldg(6, R(5));
+        b.sts(I(0), R(6));
+        b.bind(no_left);
+        auto no_right = b.newLabel();
+        b.setp(0, Cmp::NE, CmpType::U32, R(0), I(threads - 1));
+        b.braIf(0, false, no_right, no_right);
+        b.iadd(7, R(1), I(1));
+        b.setp(1, Cmp::LT, CmpType::U32, R(7), I(cols));
+        b.imad(8, R(7), I(4), I(src));
+        b.mov(9, I(0x3fffffff));
+        b.pred(1).ldg(9, R(8));
+        b.sts(I((threads + 1) * 4), R(9));
+        b.bind(no_right);
+        b.bar();
+        // dst[gx] = wall[row][gx] + min3(smem[tid], smem[tid+1],
+        //                                smem[tid+2])
+        b.lds(10, R(4), -4);
+        b.lds(11, R(4));
+        b.lds(12, R(4), 4);
+        b.imin(10, R(10), R(11));
+        b.imin(10, R(10), R(12));
+        b.imad(13, R(1), I(4),
+               I(_addr_wall + row * cols * 4));
+        b.ldg(13, R(13));
+        b.iadd(10, R(10), R(13));
+        b.imad(2, R(1), I(4), I(dst));
+        b.stg(R(2), R(10));
+        b.exit();
+        return b.finish();
+    };
+
+    std::vector<KernelLaunch> seq;
+    uint32_t src = _addr_src;
+    uint32_t dst = _addr_dst;
+    for (unsigned row = 1; row < _rows; ++row) {
+        KernelLaunch k;
+        k.label = "pathfinder";
+        k.prog = build(row, src, dst);
+        k.launch.grid = {cols / threads, 1};
+        k.launch.block = {threads, 1};
+        seq.push_back(std::move(k));
+        std::swap(src, dst);
+    }
+    return seq;
+}
+
+bool
+Pathfinder::verify(perf::Gpu &gpu) const
+{
+    const unsigned cols = _cols;
+    std::vector<uint32_t> cur(_wall.begin(), _wall.begin() + cols);
+    std::vector<uint32_t> next(cols);
+    for (unsigned row = 1; row < _rows; ++row) {
+        for (unsigned x = 0; x < cols; ++x) {
+            uint32_t best = cur[x];
+            if (x > 0)
+                best = std::min(best, cur[x - 1]);
+            if (x < cols - 1)
+                best = std::min(best, cur[x + 1]);
+            next[x] = _wall[static_cast<size_t>(row) * cols + x] + best;
+        }
+        std::swap(cur, next);
+    }
+    uint32_t final_addr = (_rows % 2 == 0) ? _addr_dst : _addr_src;
+    std::vector<uint32_t> got(cols);
+    gpu.memcpyToHost(got.data(), final_addr, cols * 4);
+    for (unsigned x = 0; x < cols; ++x) {
+        if (got[x] != cur[x])
+            return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace gpusimpow

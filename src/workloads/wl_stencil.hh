@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rodinia grid workloads: hotspot (processor temperature stencil)
+ * and pathfinder (dynamic-programming path search).
+ */
+
+#ifndef GPUSIMPOW_WORKLOADS_WL_STENCIL_HH
+#define GPUSIMPOW_WORKLOADS_WL_STENCIL_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace workloads {
+
+/** hotspot: 5-point temperature stencil with boundary divergence. */
+class Hotspot : public Workload
+{
+  public:
+    explicit Hotspot(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _dim;      // square grid dimension
+    unsigned _steps;    // time steps (kernel launches)
+    std::vector<float> _temp;
+    std::vector<float> _power;
+    uint32_t _addr_t_in = 0;
+    uint32_t _addr_t_out = 0;
+    uint32_t _addr_p = 0;
+};
+
+/** pathfinder: row-wise DP minimum path with SMEM row buffers. */
+class Pathfinder : public Workload
+{
+  public:
+    explicit Pathfinder(unsigned scale = 1);
+    std::string description() const override;
+    std::string origin() const override;
+    std::vector<KernelLaunch> prepare(perf::Gpu &gpu) override;
+    bool verify(perf::Gpu &gpu) const override;
+
+  private:
+    unsigned _cols;
+    unsigned _rows;
+    std::vector<uint32_t> _wall;
+    uint32_t _addr_wall = 0;
+    uint32_t _addr_src = 0;
+    uint32_t _addr_dst = 0;
+};
+
+} // namespace workloads
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_WORKLOADS_WL_STENCIL_HH

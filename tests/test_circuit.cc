@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the circuit layer (CACTI-like arrays,
+ * CAMs, DFF storage, crossbars, clock network, random logic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/array.hh"
+#include "circuit/interconnect.hh"
+#include "circuit/logic.hh"
+#include "tech/tech.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::circuit;
+
+namespace {
+
+tech::TechNode
+node40()
+{
+    return tech::TechNode::make(40, 1.05, 350.0);
+}
+
+} // namespace
+
+TEST(SramModel, EnergyAndAreaPositive)
+{
+    SramParams p;
+    p.entries = 256;
+    p.bits_per_entry = 128;
+    SramArray a(p, node40());
+    EXPECT_GT(a.readEnergy(), 0.0);
+    EXPECT_GT(a.writeEnergy(), 0.0);
+    EXPECT_GT(a.area(), 0.0);
+    EXPECT_GT(a.leakage(), 0.0);
+}
+
+TEST(SramModel, WriteCostsMoreThanRead)
+{
+    // Writes swing bitlines full rail; reads use a reduced swing.
+    SramParams p;
+    p.entries = 512;
+    p.bits_per_entry = 64;
+    SramArray a(p, node40());
+    EXPECT_GT(a.writeEnergy(), a.readEnergy());
+}
+
+TEST(SramModel, EnergyPlausibleAtFortyNm)
+{
+    // A 16 KB array reading a 128-bit row should be single-digit
+    // picojoules at 40 nm (CACTI ballpark).
+    SramParams p;
+    p.entries = 1024;
+    p.bits_per_entry = 128;
+    SramArray a(p, node40());
+    EXPECT_GT(a.readEnergy(), 0.1e-12);
+    EXPECT_LT(a.readEnergy(), 50e-12);
+}
+
+TEST(SramModel, ExtraPortsGrowArea)
+{
+    SramParams p1;
+    p1.entries = 256;
+    p1.bits_per_entry = 64;
+    SramParams p2 = p1;
+    p2.read_ports = 3;
+    p2.write_ports = 1;
+    EXPECT_GT(SramArray(p2, node40()).area(),
+              1.8 * SramArray(p1, node40()).area());
+}
+
+TEST(SramModel, LstpDeviceLeaksLess)
+{
+    SramParams hp;
+    hp.entries = 1024;
+    hp.bits_per_entry = 128;
+    SramParams lstp = hp;
+    lstp.device = tech::DeviceType::LSTP;
+    EXPECT_LT(SramArray(lstp, node40()).leakage(),
+              0.1 * SramArray(hp, node40()).leakage());
+}
+
+/** Property sweep: monotonicity in array size. */
+class SramSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(SramSweep, BiggerArraysCostMore)
+{
+    auto [entries, bits] = GetParam();
+    tech::TechNode t = node40();
+    SramParams small;
+    small.entries = entries;
+    small.bits_per_entry = bits;
+    SramParams taller = small;
+    taller.entries = entries * 2;
+    SramParams wider = small;
+    wider.bits_per_entry = bits * 2;
+
+    SramArray s(small, t);
+    SramArray tall(taller, t);
+    SramArray wide(wider, t);
+    EXPECT_GT(tall.area(), s.area());
+    EXPECT_GT(wide.area(), s.area());
+    EXPECT_GT(tall.leakage(), s.leakage());
+    EXPECT_GT(wide.leakage(), s.leakage());
+    EXPECT_GE(tall.readEnergy(), s.readEnergy());
+    EXPECT_GT(wide.readEnergy(), s.readEnergy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SramSweep,
+    ::testing::Combine(::testing::Values(64u, 256u, 1024u),
+                       ::testing::Values(32u, 128u, 512u)));
+
+TEST(CamModel, SearchCostsMoreThanEquivalentRead)
+{
+    tech::TechNode t = node40();
+    CamParams cp;
+    cp.entries = 64;
+    cp.tag_bits = 8;
+    cp.data_bits = 64;
+    CamArray cam(cp, t);
+    SramParams sp;
+    sp.entries = 64;
+    sp.bits_per_entry = 64;
+    SramArray ram(sp, t);
+    // A search touches every entry; a RAM read touches one row.
+    EXPECT_GT(cam.searchEnergy(), ram.readEnergy());
+}
+
+TEST(CamModel, MoreEntriesCostMore)
+{
+    tech::TechNode t = node40();
+    CamParams a;
+    a.entries = 32;
+    a.tag_bits = 8;
+    CamParams b = a;
+    b.entries = 128;
+    EXPECT_GT(CamArray(b, t).searchEnergy(),
+              CamArray(a, t).searchEnergy());
+    EXPECT_GT(CamArray(b, t).area(), CamArray(a, t).area());
+}
+
+TEST(DffModel, LinearInBits)
+{
+    tech::TechNode t = node40();
+    DffStorage a(1000, t);
+    DffStorage b(2000, t);
+    EXPECT_NEAR(b.writeEnergy() / a.writeEnergy(), 2.0, 1e-9);
+    EXPECT_NEAR(b.leakage() / a.leakage(), 2.0, 1e-9);
+    EXPECT_NEAR(b.clockCap() / a.clockCap(), 2.0, 1e-9);
+}
+
+TEST(CrossbarModel, GrowsWithPortsAndWidth)
+{
+    tech::TechNode t = node40();
+    Crossbar small(4, 4, 32, t);
+    Crossbar wide(4, 4, 128, t);
+    Crossbar many(16, 16, 32, t);
+    EXPECT_GT(wide.transferEnergy(), small.transferEnergy());
+    EXPECT_GT(many.area(), small.area());
+    EXPECT_GT(many.transferEnergy(), small.transferEnergy());
+}
+
+TEST(ClockModel, PowerLinearInFrequency)
+{
+    tech::TechNode t = node40();
+    ClockNetwork clk(1e-6, 1e-12, t);
+    EXPECT_NEAR(clk.power(1e9) / clk.power(5e8), 2.0, 1e-9);
+    EXPECT_GT(clk.totalCap(), 1e-12);   // at least the load itself
+}
+
+TEST(PriorityEncoderModel, GrowsWithInputs)
+{
+    tech::TechNode t = node40();
+    PriorityEncoder small(8, t);
+    PriorityEncoder big(64, t);
+    EXPECT_GT(big.arbitrationEnergy(), small.arbitrationEnergy());
+    EXPECT_GT(big.area(), small.area());
+}
+
+TEST(DecoderModel, Sane)
+{
+    tech::TechNode t = node40();
+    InstructionDecoder d(8, 64, t);
+    EXPECT_GT(d.decodeEnergy(), 0.0);
+    EXPECT_LT(d.decodeEnergy(), 1e-10);
+    EXPECT_GT(d.area(), 0.0);
+}
+
+TEST(AdderModel, WiderAddersCostMore)
+{
+    tech::TechNode t = node40();
+    Adder a16(16, t);
+    Adder a32(32, t);
+    EXPECT_GT(a32.addEnergy(), a16.addEnergy());
+    EXPECT_GT(a32.area(), a16.area());
+}
+
+TEST(RouterModel, FlitEnergyAndLeakagePositive)
+{
+    tech::TechNode t = node40();
+    Router r(8, 256, 8, 2e-3, t);
+    EXPECT_GT(r.flitEnergy(), 0.0);
+    EXPECT_GT(r.linkEnergy(), 0.0);
+    EXPECT_GT(r.leakage(), 0.0);
+    // Longer links cost more energy.
+    Router far(8, 256, 8, 4e-3, t);
+    EXPECT_GT(far.linkEnergy(), r.linkEnergy());
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the GPU configuration schema: Table II preset
+ * values, XML round-tripping, sparse overrides, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "config/gpu_config.hh"
+
+using namespace gpusimpow;
+
+TEST(GpuConfig, Gt240MatchesTableII)
+{
+    GpuConfig c = GpuConfig::gt240();
+    EXPECT_EQ(c.numCores(), 12u);
+    EXPECT_EQ(c.core.max_threads, 768u);
+    EXPECT_EQ(c.core.fp_lanes, 8u);
+    EXPECT_NEAR(c.clocks.uncore_hz, 550e6, 1.0);
+    EXPECT_NEAR(c.clocks.shader_to_uncore, 2.47, 1e-9);
+    EXPECT_EQ(c.core.maxWarps(), 24u);
+    EXPECT_FALSE(c.core.scoreboard);
+    EXPECT_FALSE(c.l2.present);
+    EXPECT_EQ(c.tech.node_nm, 40u);
+}
+
+TEST(GpuConfig, Gtx580MatchesTableII)
+{
+    GpuConfig c = GpuConfig::gtx580();
+    EXPECT_EQ(c.numCores(), 16u);
+    EXPECT_EQ(c.core.max_threads, 1536u);
+    EXPECT_EQ(c.core.fp_lanes, 32u);
+    EXPECT_NEAR(c.clocks.uncore_hz, 882e6, 1.0);
+    EXPECT_NEAR(c.clocks.shader_to_uncore, 2.0, 1e-9);
+    EXPECT_EQ(c.core.maxWarps(), 48u);
+    EXPECT_TRUE(c.core.scoreboard);
+    EXPECT_TRUE(c.l2.present);
+    EXPECT_EQ(c.l2.total_bytes, 768u * 1024u);
+}
+
+TEST(GpuConfig, EmpiricalConstantsMatchPaper)
+{
+    GpuConfig c = GpuConfig::gt240();
+    EXPECT_NEAR(c.calib.int_op_pj, 40.0, 1e-9);    // SectionIII-D
+    EXPECT_NEAR(c.calib.fp_op_pj, 75.0, 1e-9);
+    EXPECT_NEAR(c.calib.global_sched_w, 3.34, 1e-9);
+    EXPECT_NEAR(c.calib.cluster_base_w, 0.692, 1e-9);
+    EXPECT_NEAR(c.calib.core_base_dyn_w, 0.199, 1e-9);  // Table V
+    EXPECT_NEAR(c.calib.undiff_core_static_w, 0.886, 1e-9);
+}
+
+TEST(GpuConfig, ShaderClockDerivedFromRatio)
+{
+    GpuConfig c = GpuConfig::gt240();
+    EXPECT_NEAR(c.clocks.shaderHz(), 550e6 * 2.47, 1.0);
+}
+
+TEST(GpuConfig, XmlRoundTripPreservesEveryField)
+{
+    GpuConfig a = GpuConfig::gtx580();
+    a.core.sagu_count = 2;
+    a.calib.sfu_op_pj = 123.5;
+    a.dram.idd4r = 0.321;
+    GpuConfig b = GpuConfig::fromXml(a.toXml());
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.numCores(), a.numCores());
+    EXPECT_EQ(b.core.sagu_count, 2u);
+    EXPECT_NEAR(b.calib.sfu_op_pj, 123.5, 1e-9);
+    EXPECT_NEAR(b.dram.idd4r, 0.321, 1e-9);
+    EXPECT_EQ(b.core.scoreboard, a.core.scoreboard);
+    EXPECT_EQ(b.l2.total_bytes, a.l2.total_bytes);
+    EXPECT_EQ(b.core.sched_policy, a.core.sched_policy);
+    // Round-trip twice: serialization must be stable.
+    EXPECT_EQ(b.toXml(), GpuConfig::fromXml(b.toXml()).toXml());
+}
+
+TEST(GpuConfig, SparseXmlKeepsDefaults)
+{
+    GpuConfig c = GpuConfig::fromXml(
+        "<gpusimpow><core><param name=\"int_lanes\" value=\"16\"/>"
+        "<param name=\"fp_lanes\" value=\"16\"/></core></gpusimpow>");
+    EXPECT_EQ(c.core.int_lanes, 16u);
+    EXPECT_EQ(c.core.warp_size, 32u);         // default kept
+    EXPECT_EQ(c.clusters, 4u);                // default kept
+}
+
+TEST(GpuConfig, RejectsWrongRootElement)
+{
+    EXPECT_THROW(GpuConfig::fromXml("<mcpat/>"), FatalError);
+}
+
+TEST(GpuConfig, ValidationCatchesBadGeometry)
+{
+    GpuConfig c = GpuConfig::gt240();
+    c.core.max_threads = 100;   // not a warp multiple
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.core.smem_bytes = c.core.smem_l1_bytes + 1;
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.dram.channels = 0;
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.core.sched_policy = "magic";
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+}
+
+TEST(GpuConfig, LOneDSplitDerived)
+{
+    GpuConfig c = GpuConfig::gtx580();
+    EXPECT_EQ(c.core.lOneDBytes(), 65536u - 49152u);
+    GpuConfig d = GpuConfig::gt240();
+    EXPECT_EQ(d.core.lOneDBytes(), 0u);
+}
+
+TEST(GpuConfig, FromXmlFileReportsMissingFile)
+{
+    EXPECT_THROW(GpuConfig::fromXmlFile("/nonexistent/file.xml"),
+                 FatalError);
+}

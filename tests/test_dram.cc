@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the GDDR5 timing and power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/gpu_config.hh"
+#include "dram/gddr5.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::dram;
+
+namespace {
+
+DramConfig
+smallConfig()
+{
+    DramConfig d;
+    d.banks = 4;
+    d.row_bytes = 1024;
+    return d;
+}
+
+} // namespace
+
+TEST(DramChannel, RowHitIsFasterThanRowMiss)
+{
+    DramChannel ch(smallConfig());
+    uint64_t t1 = ch.access(0, false, 0);          // cold: activate
+    uint64_t t2 = ch.access(32, false, t1);        // same row: hit
+    uint64_t t3 = ch.access(1024 * 4 * 5, false, t2); // other row
+    EXPECT_EQ(ch.rowHits(), 1u);
+    EXPECT_GE(ch.activates(), 2u);
+    EXPECT_GT(t3 - t2, t2 - t1);
+}
+
+TEST(DramChannel, CountsReadAndWriteBursts)
+{
+    DramChannel ch(smallConfig());
+    ch.access(0, false, 0);
+    ch.access(64, true, 100);
+    ch.access(128, true, 200);
+    EXPECT_EQ(ch.readBursts(), 1u);
+    EXPECT_EQ(ch.writeBursts(), 2u);
+    EXPECT_GT(ch.busBusyCycles(), 0u);
+}
+
+TEST(DramChannel, BusSerializesConcurrentAccesses)
+{
+    DramChannel ch(smallConfig());
+    // Two same-row accesses issued at the same instant cannot both
+    // use the data bus at once.
+    ch.access(0, false, 0);
+    uint64_t a = ch.access(32, false, 0);
+    uint64_t b = ch.access(64, false, 0);
+    EXPECT_GT(b, a);
+}
+
+TEST(DramChannel, ResetCountersKeepsState)
+{
+    DramChannel ch(smallConfig());
+    ch.access(0, false, 0);
+    ch.resetCounters();
+    EXPECT_EQ(ch.activates(), 0u);
+    EXPECT_EQ(ch.readBursts(), 0u);
+    // Row is still open: next same-row access is a hit.
+    ch.access(32, false, 1000);
+    EXPECT_EQ(ch.rowHits(), 1u);
+}
+
+TEST(DramChannel, ResetTimingClosesRows)
+{
+    DramChannel ch(smallConfig());
+    ch.access(0, false, 0);
+    ch.resetTiming();
+    ch.resetCounters();
+    ch.access(32, false, 0);
+    // After a timing reset the row must be re-activated.
+    EXPECT_EQ(ch.rowHits(), 0u);
+    EXPECT_EQ(ch.activates(), 1u);
+}
+
+TEST(DramPower, IdleIsBackgroundPlusRefresh)
+{
+    DramConfig d;
+    Gddr5Power p(d, 850e6);
+    DramActivity idle;
+    idle.elapsed_s = 1.0;
+    DramPowerBreakdown b = p.compute(idle);
+    EXPECT_GT(b.background, 0.0);
+    EXPECT_GT(b.refresh, 0.0);
+    EXPECT_DOUBLE_EQ(b.activate, 0.0);
+    EXPECT_DOUBLE_EQ(b.read_write, 0.0);
+    EXPECT_DOUBLE_EQ(b.termination, 0.0);
+    EXPECT_NEAR(p.idlePower(), b.background + b.refresh, 1e-9);
+}
+
+TEST(DramPower, BackgroundRisesWithOpenRows)
+{
+    DramConfig d;
+    Gddr5Power p(d, 850e6);
+    DramActivity closed;
+    closed.elapsed_s = 1.0;
+    DramActivity open = closed;
+    open.row_open_frac = 1.0;
+    EXPECT_GT(p.compute(open).background,
+              p.compute(closed).background);
+}
+
+TEST(DramPower, TrafficComponentsScaleLinearly)
+{
+    DramConfig d;
+    Gddr5Power p(d, 850e6);
+    DramActivity a;
+    a.elapsed_s = 1e-3;
+    a.activates = 1000;
+    a.read_bursts = 10000;
+    a.write_bursts = 5000;
+    DramActivity twice = a;
+    twice.activates *= 2;
+    twice.read_bursts *= 2;
+    twice.write_bursts *= 2;
+    DramPowerBreakdown b1 = p.compute(a);
+    DramPowerBreakdown b2 = p.compute(twice);
+    EXPECT_NEAR(b2.activate, 2.0 * b1.activate, 1e-9);
+    EXPECT_NEAR(b2.read_write, 2.0 * b1.read_write, 1e-9);
+    EXPECT_NEAR(b2.termination, 2.0 * b1.termination, 1e-9);
+}
+
+TEST(DramPower, Gt240IdleInPlausibleRange)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    Gddr5Power p(cfg.dram, cfg.clocks.dram_hz);
+    // 8 GDDR5 chips idle: single-digit watts.
+    EXPECT_GT(p.idlePower(), 0.5);
+    EXPECT_LT(p.idlePower(), 6.0);
+}
+
+TEST(DramActivityMerge, WeightedByDuration)
+{
+    DramActivity a;
+    a.elapsed_s = 1.0;
+    a.row_open_frac = 1.0;
+    a.activates = 10;
+    DramActivity b;
+    b.elapsed_s = 3.0;
+    b.row_open_frac = 0.0;
+    b.activates = 30;
+    a += b;
+    EXPECT_NEAR(a.row_open_frac, 0.25, 1e-9);
+    EXPECT_EQ(a.activates, 40u);
+    EXPECT_NEAR(a.elapsed_s, 4.0, 1e-12);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the mini ISA representation and the kernel builder
+ * (labels, branch patching, guard plumbing, disassembly).
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "perf/isa.hh"
+#include "perf/kernel.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::perf;
+
+TEST(Operand, Constructors)
+{
+    EXPECT_EQ(Operand::reg(5).kind, OperandKind::Reg);
+    EXPECT_EQ(Operand::reg(5).value, 5u);
+    EXPECT_EQ(Operand::imm(7).kind, OperandKind::Imm);
+    EXPECT_EQ(Operand::none().kind, OperandKind::None);
+    EXPECT_EQ(Operand::special(SpecialReg::TidX).kind,
+              OperandKind::Special);
+}
+
+TEST(Operand, FloatImmediateRoundTrips)
+{
+    Operand o = Operand::immf(3.25f);
+    float back;
+    static_assert(sizeof(back) == sizeof(o.value));
+    std::memcpy(&back, &o.value, 4);
+    EXPECT_EQ(back, 3.25f);
+}
+
+TEST(Instruction, UnitClassMapping)
+{
+    Instruction i;
+    i.op = Op::IADD;
+    EXPECT_EQ(i.unitClass(), UnitClass::Int);
+    i.op = Op::FFMA;
+    EXPECT_EQ(i.unitClass(), UnitClass::Fp);
+    i.op = Op::RSQRT;
+    EXPECT_EQ(i.unitClass(), UnitClass::Sfu);
+    i.op = Op::LDG;
+    EXPECT_EQ(i.unitClass(), UnitClass::Mem);
+    i.op = Op::BAR;
+    EXPECT_EQ(i.unitClass(), UnitClass::Ctrl);
+    i.op = Op::SETP;
+    EXPECT_EQ(i.unitClass(), UnitClass::Int);
+}
+
+TEST(Instruction, RegSourceCount)
+{
+    Instruction i;
+    i.op = Op::FFMA;
+    i.src_a = Operand::reg(1);
+    i.src_b = Operand::imm(2);
+    i.src_c = Operand::reg(3);
+    EXPECT_EQ(i.regSources(), 2u);
+    i.dst = Operand::reg(0);
+    EXPECT_TRUE(i.writesReg());
+}
+
+TEST(KernelBuilder, EmitsAndFinishes)
+{
+    KernelBuilder b("k", 8);
+    b.iadd(0, Operand::imm(1), Operand::imm(2));
+    KernelProgram p = b.finish();
+    ASSERT_EQ(p.code.size(), 2u);   // + implicit EXIT
+    EXPECT_EQ(p.code[0].op, Op::IADD);
+    EXPECT_EQ(p.code[1].op, Op::EXIT);
+    EXPECT_EQ(p.regs_per_thread, 8u);
+}
+
+TEST(KernelBuilder, NoDuplicateExit)
+{
+    KernelBuilder b("k", 8);
+    b.exit();
+    KernelProgram p = b.finish();
+    EXPECT_EQ(p.code.size(), 1u);
+}
+
+TEST(KernelBuilder, BranchPatching)
+{
+    KernelBuilder b("k", 8);
+    auto target = b.newLabel();
+    auto reconv = b.newLabel();
+    b.setp(0, Cmp::EQ, CmpType::I32, Operand::reg(0),
+           Operand::imm(0));
+    b.braIf(0, false, target, reconv);
+    b.iadd(1, Operand::imm(1), Operand::imm(1));
+    b.bind(target);
+    b.bind(reconv);
+    b.exit();
+    KernelProgram p = b.finish();
+    EXPECT_EQ(p.code[1].op, Op::BRA);
+    EXPECT_EQ(p.code[1].target, 3u);
+    EXPECT_EQ(p.code[1].reconv, 3u);
+}
+
+TEST(KernelBuilder, BackwardBranch)
+{
+    KernelBuilder b("k", 8);
+    auto top = b.newBoundLabel();
+    b.iadd(0, Operand::reg(0), Operand::imm(1));
+    b.jump(top);
+    KernelProgram p = b.finish();
+    EXPECT_EQ(p.code[1].target, 0u);
+    EXPECT_EQ(p.code[1].guard, -1);   // unconditional
+}
+
+TEST(KernelBuilder, GuardAppliesToNextInstructionOnly)
+{
+    KernelBuilder b("k", 8);
+    b.pred(2, true).iadd(0, Operand::imm(1), Operand::imm(1));
+    b.iadd(1, Operand::imm(1), Operand::imm(1));
+    KernelProgram p = b.finish();
+    EXPECT_EQ(p.code[0].guard, 2);
+    EXPECT_TRUE(p.code[0].guard_negated);
+    EXPECT_EQ(p.code[1].guard, -1);
+}
+
+TEST(KernelBuilder, MemoryOffsets)
+{
+    KernelBuilder b("k", 8);
+    b.ldg(0, Operand::reg(1), -8);
+    b.sts(Operand::reg(2), Operand::reg(3), 16);
+    KernelProgram p = b.finish();
+    EXPECT_EQ(p.code[0].mem_offset, -8);
+    EXPECT_EQ(p.code[1].mem_offset, 16);
+}
+
+TEST(KernelBuilder, DisassemblyContainsMnemonics)
+{
+    KernelBuilder b("k", 8);
+    b.ffma(0, Operand::reg(1), Operand::reg(2), Operand::reg(3));
+    std::string d = b.finish().disassemble();
+    EXPECT_NE(d.find("ffma"), std::string::npos);
+    EXPECT_NE(d.find("exit"), std::string::npos);
+}
+
+TEST(KernelBuilder, RegisterBudgetEnforced)
+{
+    EXPECT_THROW(
+        { KernelBuilder b("k", 0); },
+        FatalError);
+}
+
+TEST(KernelBuilder, OpNameCoversEveryOpcode)
+{
+    // Spot-check the mnemonic table; "?" means a missing entry.
+    for (uint8_t o = 0; o <= static_cast<uint8_t>(Op::EXIT); ++o)
+        EXPECT_STRNE(opName(static_cast<Op>(o)), "?");
+}

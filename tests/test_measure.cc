@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Measurement-testbed tests: DAQ quantization, signal-chain error
+ * bounds (the paper's +-3.2 %), trace recording, kernel windowing,
+ * both static-power estimators, and the virtual hardware's
+ * calibrated behaviour.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "measure/signal_chain.hh"
+#include "measure/testbed.hh"
+#include "measure/validation.hh"
+#include "measure/virtual_hw.hh"
+#include "power/chip_power.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::measure;
+
+TEST(Quantize, RoundsToLsbAndClamps)
+{
+    double lsb = 10.0 / 65536.0;
+    EXPECT_NEAR(quantize(1.0, 5.0, 16), 1.0, lsb);
+    EXPECT_NEAR(quantize(7.0, 5.0, 16), 5.0, 1e-12);
+    EXPECT_NEAR(quantize(-7.0, 5.0, 16), -5.0, 1e-12);
+    EXPECT_EQ(quantize(0.0, 5.0, 16), 0.0);
+}
+
+TEST(RailChannelTest, MeasurementWithinDatasheetBounds)
+{
+    // Over many boards (seeds), measured V and I stay within the
+    // combined gain-error bounds of divider/AD8210/DAQ.
+    ChainSpec spec;
+    RailSpec rail{"12V", 12.0, 0.020, 1.0};
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+        SplitMix64 rng(seed);
+        RailChannel ch(rail, spec, rng);
+        double v = ch.measureVoltage(12.0);
+        EXPECT_NEAR(v, 12.0, 12.0 * 0.018 + 0.01) << "seed " << seed;
+        double i = ch.measureCurrent(3.0);
+        // AD8210 offset of 1 mV -> 1e-3/(20*0.02) = 2.5 mA extra.
+        EXPECT_NEAR(i, 3.0, 3.0 * 0.006 + 0.004) << "seed " << seed;
+    }
+}
+
+TEST(RailChannelTest, PowerErrorBoundNearPaperValue)
+{
+    ChainSpec spec;
+    RailSpec rail{"12V", 12.0, 0.020, 1.0};
+    SplitMix64 rng(5);
+    RailChannel ch(rail, spec, rng);
+    // Divider 1.7 % + AD8210 0.5 % + 2x DAQ gain: ~2.2 % worst case
+    // per rail (the paper quotes +-3.2 % including margins).
+    EXPECT_NEAR(ch.powerErrorBound(), 0.022, 0.002);
+}
+
+TEST(TestbedTest, RailSetsMatchCards)
+{
+    Testbed gt240(GpuConfig::gt240(), 1);
+    EXPECT_EQ(gt240.channels().size(), 2u);   // slot rails only
+    Testbed gtx580(GpuConfig::gtx580(), 1);
+    EXPECT_EQ(gtx580.channels().size(), 4u);  // + 2 aux cables
+    // Aux cables use 10 mOhm shunts (SectionIV-A).
+    EXPECT_NEAR(gtx580.channels()[2].rail().sense_ohm, 0.010, 1e-12);
+    // Rail shares sum to one.
+    double share = 0.0;
+    for (const auto &ch : gtx580.channels())
+        share += ch.rail().share;
+    EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(TestbedTest, RecordsAtDaqRate)
+{
+    Testbed tb(GpuConfig::gt240(), 2);
+    Trace t = tb.record([](double) { return 30.0; }, 10e-3);
+    EXPECT_NEAR(static_cast<double>(t.samples.size()), 312.0, 2.0);
+    // Steady 30 W measured within chain accuracy.
+    double avg = Testbed::analyze(t, 0.0, 10e-3).avg_power_w;
+    EXPECT_NEAR(avg, 30.0, 30.0 * 0.035);
+}
+
+TEST(TestbedTest, WindowSelectsKernelPhase)
+{
+    Testbed tb(GpuConfig::gt240(), 3);
+    auto power = [](double t) { return t < 5e-3 ? 20.0 : 40.0; };
+    Trace trace = tb.record(power, 10e-3);
+    double lo = Testbed::analyze(trace, 0.0, 5e-3).avg_power_w;
+    double hi = Testbed::analyze(trace, 5e-3, 10e-3).avg_power_w;
+    EXPECT_NEAR(lo, 20.0, 1.5);
+    EXPECT_NEAR(hi, 40.0, 2.5);
+}
+
+TEST(TestbedTest, SupplyFilterSmearsSteps)
+{
+    Testbed tb(GpuConfig::gt240(), 4);
+    auto power = [](double t) { return t < 5e-3 ? 20.0 : 40.0; };
+    Trace sharp = tb.record(power, 10e-3, 0.0);
+    Trace filtered = tb.record(power, 10e-3, 1e-3);
+    // Right after the step the filtered trace lags.
+    double sharp_after =
+        Testbed::analyze(sharp, 5.1e-3, 6e-3).avg_power_w;
+    double filt_after =
+        Testbed::analyze(filtered, 5.1e-3, 6e-3).avg_power_w;
+    EXPECT_GT(sharp_after, filt_after + 3.0);
+}
+
+TEST(Estimators, FrequencyExtrapolationIsExactOnLinearModel)
+{
+    // P(f) = 10 + 20*(f/f0): P(1.0)=30, P(0.8)=26 -> S=10.
+    EXPECT_NEAR(extrapolateStatic(30.0, 26.0, 0.8), 10.0, 1e-9);
+}
+
+TEST(Estimators, IdleRatioMethod)
+{
+    EXPECT_NEAR(idleRatioStatic(90.0, 0.9026), 81.234, 1e-3);
+}
+
+TEST(VirtualHw, StaticTruthBelowModel)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    power::GpuPowerModel model(cfg);
+    VirtualHardware hw(cfg, model.staticPower(), 1);
+    EXPECT_NEAR(hw.trueStaticPower(), 17.6, 0.2);   // paper real
+    EXPECT_LT(hw.trueStaticPower(), model.staticPower());
+}
+
+TEST(VirtualHw, Gt240SignStructure)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    VirtualHardware hw(cfg, 17.9, 0x5EED);
+    // The simulator overestimates every GT240 kernel except
+    // BlackScholes and scalarProd (SectionV-A).
+    EXPECT_GT(hw.kernelDynamicFactor("BlackScholes"), 1.0);
+    EXPECT_GT(hw.kernelDynamicFactor("scalarProd"), 1.0);
+    for (const char *k : {"vectorAdd", "matrixMul", "hotspot", "bfs1",
+                          "kmeans1", "mergeSort1", "needle1"}) {
+        EXPECT_LT(hw.kernelDynamicFactor(k), 1.0) << k;
+    }
+}
+
+TEST(VirtualHw, MicrobenchFactorsAreUnity)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    VirtualHardware hw(cfg, 17.9, 0x5EED);
+    EXPECT_DOUBLE_EQ(hw.kernelDynamicFactor("microInt"), 1.0);
+    EXPECT_DOUBLE_EQ(hw.kernelDynamicFactor("microFp"), 1.0);
+    EXPECT_DOUBLE_EQ(hw.kernelDynamicFactor("occupancy"), 1.0);
+}
+
+TEST(VirtualHw, FactorsDeterministicPerKernel)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    VirtualHardware a(cfg, 17.9, 7);
+    VirtualHardware b(cfg, 17.9, 7);
+    EXPECT_DOUBLE_EQ(a.kernelDynamicFactor("hotspot"),
+                     b.kernelDynamicFactor("hotspot"));
+    EXPECT_NE(a.kernelDynamicFactor("hotspot"),
+              a.kernelDynamicFactor("bfs1"));
+}
+
+TEST(VirtualHw, IdleStatesMatchPaper)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    power::GpuPowerModel model(cfg);
+    VirtualHardware hw(cfg, model.staticPower(), 1);
+    // Gated idle ~15 W; between kernels ~19.5 W (SectionV-A).
+    EXPECT_NEAR(hw.idlePower(), 15.0, 1.5);
+    EXPECT_NEAR(hw.preKernelPower(), 19.5, 1.5);
+    EXPECT_LT(hw.idlePower(), hw.preKernelPower());
+
+    GpuConfig cfg580 = GpuConfig::gtx580();
+    power::GpuPowerModel model580(cfg580);
+    VirtualHardware hw580(cfg580, model580.staticPower(), 1);
+    EXPECT_NEAR(hw580.preKernelPower(), 90.0, 4.0);
+}
+
+TEST(Validation, StaticEstimatesMatchPaperMethodology)
+{
+    GpuConfig gt240 = GpuConfig::gt240();
+    power::GpuPowerModel m240(gt240);
+    ValidationHarness h240(gt240, m240.staticPower(), 0x5EED);
+    // Frequency extrapolation lands near the true 17.6 W.
+    EXPECT_NEAR(h240.measuredStatic(), 17.6, 0.8);
+
+    GpuConfig gtx580 = GpuConfig::gtx580();
+    power::GpuPowerModel m580(gtx580);
+    ValidationHarness h580(gtx580, m580.staticPower(), 0x5EED);
+    // Idle-ratio method lands near the paper's ~80 W estimate.
+    EXPECT_NEAR(h580.measuredStatic(), 80.0, 3.0);
+}
+
+TEST(Validation, TracePowerSumsRails)
+{
+    Trace t;
+    t.samples.push_back({0.0, {12.0, 3.3}, {2.0, 1.0}});
+    EXPECT_NEAR(t.powerAt(0), 12.0 * 2.0 + 3.3 * 1.0, 1e-12);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Power-model tests: report-tree mechanics, Table IV/V anchors,
+ * Eq. 1 structure (static independent of activity, dynamic linear in
+ * activity), and process scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/activity.hh"
+#include "power/chip_power.hh"
+#include "power/report.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::power;
+
+namespace {
+
+perf::ChipActivity
+idleActivity(const GpuConfig &cfg)
+{
+    perf::ChipActivity a;
+    a.cores.resize(cfg.numCores());
+    a.cluster_busy_cycles.assign(cfg.clusters, 0);
+    a.shader_cycles = 1000000;
+    a.elapsed_s = 1e-3;
+    return a;
+}
+
+perf::ChipActivity
+busyActivity(const GpuConfig &cfg, uint64_t scale = 1)
+{
+    perf::ChipActivity a = idleActivity(cfg);
+    for (auto &c : a.cores) {
+        c.cycles_resident = 1000000;
+        c.issued_insts = 800000 * scale;
+        c.int_lane_ops = 8000000 * scale;
+        c.fp_lane_ops = 12000000 * scale;
+        c.sfu_lane_ops = 400000 * scale;
+        c.rf_bank_reads = 6000000 * scale;
+        c.rf_bank_writes = 2000000 * scale;
+        c.collector_writes = 2000000 * scale;
+        c.collector_reads = 800000 * scale;
+        c.rf_xbar_transfers = 2000000 * scale;
+        c.wst_reads = 1000000 * scale;
+        c.icache_reads = 1000000 * scale;
+        c.decodes = 1000000 * scale;
+        c.ibuffer_writes = 1000000 * scale;
+        c.ibuffer_reads = 800000 * scale;
+        c.smem_accesses = 500000 * scale;
+        c.agu_addrs = 1000000 * scale;
+    }
+    a.cluster_busy_cycles.assign(cfg.clusters, 1000000);
+    a.gpu_busy_cycles = 1000000;
+    a.mem.noc_flits = 300000 * scale;
+    a.mem.mc_requests = 100000 * scale;
+    a.mem.dram_read_bursts = 300000 * scale;
+    a.mem.dram_write_bursts = 100000 * scale;
+    a.mem.dram_activates = 50000 * scale;
+    a.mem.dram_bus_cycles = 400000 * scale;
+    return a;
+}
+
+} // namespace
+
+TEST(PowerNodeTree, ChildFindAndTotals)
+{
+    PowerNode root;
+    root.name = "GPU";
+    PowerNode &a = root.child("A");
+    a.sub_leakage_w = 1.0;
+    a.runtime_dynamic_w = 2.0;
+    PowerNode &ab = a.child("B");
+    ab.gate_leakage_w = 0.5;
+    ab.area_mm2 = 3.0;
+    EXPECT_EQ(root.find("A"), &root.children[0]);
+    EXPECT_EQ(root.find("A/B"), &root.children[0].children[0]);
+    EXPECT_EQ(root.find("A/C"), nullptr);
+    EXPECT_DOUBLE_EQ(root.totalStatic(), 1.5);
+    EXPECT_DOUBLE_EQ(root.totalDynamic(), 2.0);
+    EXPECT_DOUBLE_EQ(root.totalArea(), 3.0);
+}
+
+TEST(PowerModel, TableIVAnchorsGt240)
+{
+    GpuPowerModel m(GpuConfig::gt240());
+    EXPECT_NEAR(m.staticPower(), 17.9, 0.3);   // paper: 17.9 W
+    EXPECT_NEAR(m.area(), 105.0, 3.0);         // paper: 105 mm2
+}
+
+TEST(PowerModel, TableIVAnchorsGtx580)
+{
+    GpuPowerModel m(GpuConfig::gtx580());
+    EXPECT_NEAR(m.staticPower(), 81.5, 1.0);   // paper: 81.5 W
+    EXPECT_NEAR(m.area(), 306.0, 6.0);         // paper: 306 mm2
+}
+
+TEST(PowerModel, StaticIndependentOfActivity)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    PowerReport idle = m.evaluate(idleActivity(cfg));
+    PowerReport busy = m.evaluate(busyActivity(cfg));
+    EXPECT_NEAR(idle.staticPower(), busy.staticPower(), 1e-9);
+}
+
+TEST(PowerModel, IdleChipHasNoDynamicPower)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    PowerReport rep = m.evaluate(idleActivity(cfg));
+    EXPECT_NEAR(rep.dynamicPower(), 0.0, 1e-9);
+}
+
+TEST(PowerModel, DynamicScalesWithActivity)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    double d1 = m.evaluate(busyActivity(cfg, 1)).dynamicPower();
+    double d2 = m.evaluate(busyActivity(cfg, 2)).dynamicPower();
+    EXPECT_GT(d2, d1);
+    // The activity-proportional part doubles; base power does not.
+    EXPECT_LT(d2, 2.0 * d1);
+}
+
+TEST(PowerModel, TableVStructurePresent)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    PowerReport rep = m.evaluate(busyActivity(cfg));
+    for (const char *path :
+         {"Cores", "NoC", "Memory Controller", "PCIe Controller",
+          "Cores/Core0", "Cores/Core0/Base Power", "Cores/Core0/WCU",
+          "Cores/Core0/Register File", "Cores/Core0/Execution Units",
+          "Cores/Core0/LDSTU", "Cores/Core0/Undiff. Core",
+          "Cores/Cluster Base", "Cores/Global Scheduler"}) {
+        EXPECT_NE(rep.gpu.find(path), nullptr) << path;
+    }
+}
+
+TEST(PowerModel, TableVStaticAnchorsPerCore)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    PowerReport rep = m.staticReport();
+    const PowerNode *core = rep.gpu.find("Cores/Core0");
+    ASSERT_NE(core, nullptr);
+    EXPECT_NEAR(core->totalStatic(), 1.283, 0.06);   // Table V
+    EXPECT_NEAR(core->find("WCU")->totalStatic(), 0.042, 0.01);
+    EXPECT_NEAR(core->find("Register File")->totalStatic(), 0.112,
+                0.025);
+    EXPECT_NEAR(core->find("Execution Units")->totalStatic(), 0.0096,
+                0.004);
+    EXPECT_NEAR(core->find("LDSTU")->totalStatic(), 0.234, 0.04);
+    EXPECT_NEAR(core->find("Undiff. Core")->totalStatic(), 0.886,
+                0.001);
+}
+
+TEST(PowerModel, UncoreStaticAnchors)
+{
+    GpuPowerModel m(GpuConfig::gt240());
+    PowerReport rep = m.staticReport();
+    EXPECT_NEAR(rep.gpu.find("NoC")->totalStatic(), 1.484, 0.15);
+    EXPECT_NEAR(rep.gpu.find("Memory Controller")->totalStatic(),
+                0.497, 0.08);
+    EXPECT_NEAR(rep.gpu.find("PCIe Controller")->totalStatic(), 0.539,
+                0.05);
+}
+
+TEST(PowerModel, BasePowerFollowsBusyFractions)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    perf::ChipActivity a = idleActivity(cfg);
+    a.gpu_busy_cycles = a.shader_cycles;          // scheduler on
+    a.cluster_busy_cycles[0] = a.shader_cycles;   // one cluster
+    PowerReport rep = m.evaluate(a);
+    EXPECT_NEAR(rep.gpu.find("Cores/Global Scheduler")->totalDynamic(),
+                cfg.calib.global_sched_w, 1e-6);
+    EXPECT_NEAR(rep.gpu.find("Cores/Cluster Base")->totalDynamic(),
+                cfg.calib.cluster_base_w, 1e-6);
+}
+
+TEST(PowerModel, EuEnergyMatchesEmpiricalConstants)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    perf::ChipActivity a = idleActivity(cfg);
+    a.cores[0].int_lane_ops = 1000000;
+    PowerReport rep = m.evaluate(a);
+    // 1e6 INT lane-ops x 40 pJ over 1 ms = 0.04 W.
+    EXPECT_NEAR(rep.gpu.find("Cores/Core0/Execution Units")
+                    ->totalDynamic(),
+                1e6 * 40e-12 / 1e-3, 1e-6);
+}
+
+TEST(PowerModel, DramPowerRespondsToTraffic)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    double idle_dram = m.evaluate(idleActivity(cfg)).dram_w;
+    double busy_dram = m.evaluate(busyActivity(cfg)).dram_w;
+    EXPECT_GT(busy_dram, idle_dram);
+}
+
+TEST(PowerModel, PeakAboveTypicalRuntime)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    EXPECT_GT(m.peakDynamicPower(),
+              m.evaluate(busyActivity(cfg)).dynamicPower());
+}
+
+TEST(PowerModel, SmallerNodeShrinksArea)
+{
+    GpuConfig a = GpuConfig::gt240();
+    GpuConfig b = a;
+    b.tech.node_nm = 28;
+    b.tech.vdd = 0.95;
+    EXPECT_LT(GpuPowerModel(b).area() -
+                  b.calib.undiff_core_area_mm2 * b.numCores(),
+              GpuPowerModel(a).area() -
+                  a.calib.undiff_core_area_mm2 * a.numCores());
+}
+
+TEST(PowerModel, HotterChipLeaksMore)
+{
+    GpuConfig cold = GpuConfig::gt240();
+    cold.tech.temperature = 320.0;
+    GpuConfig hot = GpuConfig::gt240();
+    hot.tech.temperature = 360.0;
+    EXPECT_GT(GpuPowerModel(hot).staticPower(),
+              GpuPowerModel(cold).staticPower());
+}
+
+TEST(PowerModel, ShortCircuitShareReported)
+{
+    GpuConfig cfg = GpuConfig::gt240();
+    GpuPowerModel m(cfg);
+    PowerReport rep = m.evaluate(busyActivity(cfg));
+    EXPECT_GT(rep.short_circuit_w, 0.0);
+    EXPECT_LT(rep.short_circuit_w, rep.dynamicPower());
+}
+
+TEST(PowerModel, ReportFormatsWithoutCrashing)
+{
+    GpuPowerModel m(GpuConfig::gt240());
+    std::string s = m.staticReport().format();
+    EXPECT_NE(s.find("Register File"), std::string::npos);
+    EXPECT_NE(s.find("Chip total"), std::string::npos);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+using namespace gpusimpow::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("hits", "cache hits");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistributionStat, MeanAndCount)
+{
+    Distribution d("lat", "latency", 0, 100, 10);
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(DistributionStat, ClampsOutOfRangeSamples)
+{
+    Distribution d("x", "x", 0, 9, 10);
+    d.sample(-5);
+    d.sample(500);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_EQ(d.buckets().front(), 1u);
+    EXPECT_EQ(d.buckets().back(), 1u);
+}
+
+TEST(DistributionStat, BucketsPartitionRange)
+{
+    Distribution d("x", "x", 0, 99, 10);
+    for (int i = 0; i < 100; ++i)
+        d.sample(i);
+    for (uint64_t b : d.buckets())
+        EXPECT_EQ(b, 10u);
+}
+
+TEST(GroupStat, CounterIdentityAndLookup)
+{
+    Group g("core0");
+    Counter &a = g.counter("issues", "issued instructions");
+    Counter &b = g.counter("issues", "issued instructions");
+    EXPECT_EQ(&a, &b);   // same object on re-request
+    a.inc(5);
+    EXPECT_EQ(g.get("issues"), 5u);
+    EXPECT_EQ(g.get("missing"), 0u);
+}
+
+TEST(GroupStat, ResetClearsEverything)
+{
+    Group g("x");
+    g.counter("c", "c").inc(3);
+    g.distribution("d", "d", 0, 10, 5).sample(4);
+    g.reset();
+    EXPECT_EQ(g.get("c"), 0u);
+}
+
+TEST(GroupStat, FormatContainsNamesAndValues)
+{
+    Group g("wcu");
+    g.counter("fetches", "instruction fetches").inc(7);
+    std::string s = g.format();
+    EXPECT_NE(s.find("wcu.fetches 7"), std::string::npos);
+    EXPECT_NE(s.find("instruction fetches"), std::string::npos);
+}

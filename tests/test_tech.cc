@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for the technology layer (ITRS-style node
+ * table, device parameters, leakage physics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "tech/tech.hh"
+
+using namespace gpusimpow;
+using tech::DeviceType;
+using tech::TechNode;
+
+TEST(Tech, NominalVddSelectedWhenUnspecified)
+{
+    TechNode t = TechNode::make(40);
+    EXPECT_NEAR(t.vdd, 1.05, 1e-9);
+    TechNode t65 = TechNode::make(65);
+    EXPECT_NEAR(t65.vdd, 1.10, 1e-9);
+}
+
+TEST(Tech, ExplicitVddOverrides)
+{
+    TechNode t = TechNode::make(40, 0.9);
+    EXPECT_NEAR(t.vdd, 0.9, 1e-12);
+}
+
+TEST(Tech, FeatureSizeInMeters)
+{
+    EXPECT_NEAR(TechNode::make(40).feature_m, 40e-9, 1e-15);
+}
+
+TEST(Tech, TempLeakFactorDoublesEvery20K)
+{
+    TechNode a = TechNode::make(40, -1, 300.0);
+    TechNode b = TechNode::make(40, -1, 320.0);
+    TechNode c = TechNode::make(40, -1, 340.0);
+    EXPECT_NEAR(a.tempLeakFactor(), 1.0, 1e-9);
+    EXPECT_NEAR(b.tempLeakFactor() / a.tempLeakFactor(), 2.0, 1e-9);
+    EXPECT_NEAR(c.tempLeakFactor() / b.tempLeakFactor(), 2.0, 1e-9);
+}
+
+TEST(Tech, LstpLeaksFarLessThanHp)
+{
+    TechNode t = TechNode::make(40);
+    double hp = t.leakage(100.0, DeviceType::HP);
+    double lstp = t.leakage(100.0, DeviceType::LSTP);
+    EXPECT_GT(hp, 100.0 * lstp * 0.5);  // orders of magnitude apart
+    EXPECT_GT(lstp, 0.0);
+}
+
+TEST(Tech, LeakageScalesLinearlyWithWidth)
+{
+    TechNode t = TechNode::make(40);
+    EXPECT_NEAR(t.leakage(200.0), 2.0 * t.leakage(100.0), 1e-12);
+}
+
+TEST(Tech, LeakageMagnitudeSane)
+{
+    // 1 mm of HP transistor width at 40 nm / 350 K should leak
+    // on the order of milliwatts to a watt, not kW or nW.
+    TechNode t = TechNode::make(40, -1, 350.0);
+    double w = t.leakage(1000.0 /* um */);
+    EXPECT_GT(w, 1e-4);
+    EXPECT_LT(w, 10.0);
+}
+
+TEST(Tech, SwitchEnergyQuadraticInVdd)
+{
+    TechNode a = TechNode::make(40, 1.0);
+    TechNode b = TechNode::make(40, 2.0);
+    EXPECT_NEAR(b.switchEnergy(1e-15) / a.switchEnergy(1e-15), 4.0,
+                1e-9);
+}
+
+TEST(Tech, SramCellAreaScalesWithFSquared)
+{
+    double a65 = TechNode::make(65).sramCellArea();
+    double a32 = TechNode::make(32).sramCellArea();
+    EXPECT_NEAR(a65 / a32, (65.0 * 65.0) / (32.0 * 32.0), 0.01);
+}
+
+TEST(Tech, UnsupportedNodeIsFatal)
+{
+    EXPECT_THROW(TechNode::make(7), FatalError);
+    EXPECT_THROW(TechNode::make(180), FatalError);
+}
+
+/** Interpolation property: parameters vary monotonically with node. */
+class TechSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TechSweep, InterpolatedValuesBoundedByTableEndpoints)
+{
+    unsigned nm = GetParam();
+    TechNode t = TechNode::make(nm);
+    TechNode hi = TechNode::make(65);
+    TechNode lo = TechNode::make(28);
+    // Gate cap per um decreases toward smaller nodes.
+    EXPECT_LE(t.hp.c_gate_per_um, hi.hp.c_gate_per_um + 1e-20);
+    EXPECT_GE(t.hp.c_gate_per_um, lo.hp.c_gate_per_um - 1e-20);
+    // HP subthreshold leakage increases toward smaller nodes.
+    EXPECT_GE(t.hp.i_sub_per_um, hi.hp.i_sub_per_um - 1e-15);
+    EXPECT_LE(t.hp.i_sub_per_um, lo.hp.i_sub_per_um + 1e-15);
+    // Nominal Vdd decreases toward smaller nodes.
+    EXPECT_LE(t.vdd, hi.vdd + 1e-9);
+    EXPECT_GE(t.vdd, lo.vdd - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, TechSweep,
+                         ::testing::Values(28u, 32u, 36u, 40u, 45u, 52u,
+                                           60u, 65u));

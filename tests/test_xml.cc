@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the XML configuration parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "config/xml.hh"
+
+using namespace gpusimpow;
+
+TEST(Xml, ParsesSimpleDocument)
+{
+    auto root = xml::parse("<gpu><core n=\"12\"/></gpu>");
+    EXPECT_EQ(root->name, "gpu");
+    ASSERT_EQ(root->children.size(), 1u);
+    EXPECT_EQ(root->children[0]->name, "core");
+    EXPECT_EQ(root->children[0]->attribute("n"), "12");
+}
+
+TEST(Xml, ParsesDeclarationAndComments)
+{
+    auto root = xml::parse(
+        "<?xml version=\"1.0\"?>\n"
+        "<!-- top comment -->\n"
+        "<a><!-- inner --><b/></a>\n"
+        "<!-- trailing -->");
+    EXPECT_EQ(root->name, "a");
+    ASSERT_EQ(root->children.size(), 1u);
+}
+
+TEST(Xml, ParsesTextContent)
+{
+    auto root = xml::parse("<a>  hello world  </a>");
+    EXPECT_EQ(root->text, "hello world");
+}
+
+TEST(Xml, DecodesEntities)
+{
+    auto root = xml::parse("<a v=\"&lt;&amp;&gt;&quot;&apos;\"/>");
+    EXPECT_EQ(root->attribute("v"), "<&>\"'");
+}
+
+TEST(Xml, SingleQuotedAttributes)
+{
+    auto root = xml::parse("<a v='x y'/>");
+    EXPECT_EQ(root->attribute("v"), "x y");
+}
+
+TEST(Xml, NestedChildrenInOrder)
+{
+    auto root = xml::parse("<r><a/><b/><a/></r>");
+    ASSERT_EQ(root->children.size(), 3u);
+    EXPECT_EQ(root->children[0]->name, "a");
+    EXPECT_EQ(root->children[1]->name, "b");
+    EXPECT_EQ(root->childrenNamed("a").size(), 2u);
+    EXPECT_NE(root->child("b"), nullptr);
+    EXPECT_EQ(root->child("c"), nullptr);
+}
+
+TEST(Xml, RejectsMismatchedTags)
+{
+    EXPECT_THROW(xml::parse("<a><b></a></b>"), FatalError);
+}
+
+TEST(Xml, RejectsUnterminatedElement)
+{
+    EXPECT_THROW(xml::parse("<a><b>"), FatalError);
+}
+
+TEST(Xml, RejectsTrailingContent)
+{
+    EXPECT_THROW(xml::parse("<a/><b/>"), FatalError);
+}
+
+TEST(Xml, RejectsUnknownEntity)
+{
+    EXPECT_THROW(xml::parse("<a v=\"&bogus;\"/>"), FatalError);
+}
+
+TEST(Xml, RejectsUnquotedAttribute)
+{
+    EXPECT_THROW(xml::parse("<a v=12/>"), FatalError);
+}
+
+TEST(Xml, MissingAttributeIsFatalButOrGivesDefault)
+{
+    auto root = xml::parse("<a x=\"1\"/>");
+    EXPECT_TRUE(root->hasAttribute("x"));
+    EXPECT_FALSE(root->hasAttribute("y"));
+    EXPECT_EQ(root->attributeOr("y", "dflt"), "dflt");
+    EXPECT_THROW(root->attribute("y"), FatalError);
+}
+
+TEST(Xml, RoundTripsThroughToString)
+{
+    auto root = xml::parse(
+        "<cfg name=\"a&amp;b\"><x v=\"1\"/><y>text</y></cfg>");
+    auto again = xml::parse(root->toString());
+    EXPECT_EQ(again->name, "cfg");
+    EXPECT_EQ(again->attribute("name"), "a&b");
+    EXPECT_EQ(again->child("y")->text, "text");
+}
+
+TEST(Xml, EscapeCoversAllFive)
+{
+    EXPECT_EQ(xml::escape("<&>\"'"),
+              "&lt;&amp;&gt;&quot;&apos;");
+}
+
+TEST(Xml, ErrorsIncludeLineNumbers)
+{
+    try {
+        xml::parse("<a>\n<b>\n</c>\n</a>");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
