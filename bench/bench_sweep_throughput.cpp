@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scaling benchmark of the batch simulation engine: runs the Table II
+ * configuration sweep (GT240 + GTX580 presets x a balanced workload
+ * set, 16 scenarios) with 1, 2, 4, and 8 worker threads, reports
+ * wall-clock time, throughput, and speedup relative to one worker,
+ * and cross-checks that every worker count produced bit-identical
+ * energy results — the determinism contract of the engine.
+ *
+ * Scenarios are embarrassingly parallel (each worker owns a private
+ * Simulator), so on a machine with >= 8 hardware threads the speedup
+ * at 8 workers approaches 8x, bounded by the longest single scenario.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/engine.hh"
+
+using namespace gpusimpow;
+
+namespace {
+
+sim::SweepSpec
+table2Sweep()
+{
+    sim::SweepSpec spec;
+    spec.configs = {GpuConfig::gt240(), GpuConfig::gtx580()};
+    spec.workloads = {"heartwall", "bfs",       "hotspot",
+                      "scalarprod", "needle",   "vectoradd",
+                      "matmul",     "blackscholes"};
+    return spec;
+}
+
+double
+runOnce(const sim::SweepSpec &spec, unsigned jobs,
+        std::vector<double> &energies_out)
+{
+    sim::EngineOptions opt;
+    opt.jobs = jobs;
+    sim::SimulationEngine engine(opt);
+    auto t0 = std::chrono::steady_clock::now();
+    sim::SweepResult result = engine.run(spec);
+    auto t1 = std::chrono::steady_clock::now();
+
+    energies_out.clear();
+    for (const sim::ScenarioResult &r : result.rows()) {
+        if (!r.verified)
+            fatal("verification failed for ", r.scenario.label);
+        energies_out.push_back(r.energy_j);
+    }
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    try {
+        sim::SweepSpec spec = table2Sweep();
+        std::size_t n = spec.size();
+        std::printf("=== Sweep throughput: Table II config sweep "
+                    "(%zu scenarios) ===\n", n);
+        std::printf("hardware threads: %u\n\n",
+                    std::thread::hardware_concurrency());
+
+        // Warm-up: page in code and data once, outside the timing.
+        std::vector<double> reference;
+        runOnce(spec, 1, reference);
+
+        std::printf("%6s %12s %16s %9s\n", "jobs", "wall[s]",
+                    "scenarios/s", "speedup");
+        double base_s = 0.0;
+        double speedup_at_8 = 0.0;
+        for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+            std::vector<double> energies;
+            double wall_s = runOnce(spec, jobs, energies);
+            if (energies != reference)
+                fatal("nondeterministic sweep results at jobs=", jobs);
+            if (jobs == 1)
+                base_s = wall_s;
+            double speedup = base_s / wall_s;
+            if (jobs == 8)
+                speedup_at_8 = speedup;
+            std::printf("%6u %12.3f %16.2f %8.2fx\n", jobs, wall_s,
+                        n / wall_s, speedup);
+        }
+        std::printf("\nspeedup at --jobs 8 over --jobs 1: %.2fx "
+                    "(results bit-identical at every worker count)\n",
+                    speedup_at_8);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -7,7 +7,8 @@
 
 #include "common/logging.hh"
 #include "measure/validation.hh"
-#include "sim/simulator.hh"
+#include "power/chip_power.hh"
+#include "sim/engine.hh"
 #include "workloads/workload.hh"
 
 namespace gpusimpow {
@@ -20,13 +21,29 @@ runFigure6(const GpuConfig &cfg, const char *figure_name,
     std::printf("=== Figure %s: simulated vs measured power, %s ===\n",
                 figure_name, cfg.name.c_str());
 
-    Simulator sim(cfg);
     measure::ValidationHarness harness(
-        cfg, sim.powerModel().staticPower(), 0x5EED);
+        cfg, power::GpuPowerModel(cfg).staticPower(), 0x5EED);
 
-    // Run every kernel of every benchmark; kernels executed several
-    // times during a benchmark (bfs levels, needle diagonals...) are
-    // averaged per label, as the paper does (SectionV-A).
+    // The Fig. 6 campaign is one sweep: this card x every Table I
+    // benchmark, traced for the measurement testbed. The engine
+    // verifies each workload and hands back the kernel runs in
+    // deterministic order. Each benchmark now runs on a fresh card
+    // (cold caches, allocator reset) instead of inheriting state from
+    // the previous one — matching the paper's per-benchmark
+    // measurement runs; a few kernels shift by ~0.02 W versus the
+    // shared-instance implementation this replaced.
+    sim::SweepSpec spec;
+    spec.configs = {cfg};
+    spec.workloads = workloads::listWorkloadNames();
+    sim::EngineOptions eopt;
+    eopt.with_trace = true;
+    eopt.sample_interval_s = 20e-6;
+    sim::SimulationEngine engine(eopt);
+    sim::SweepResult result = engine.run(spec);
+
+    // Validate every kernel; kernels executed several times during a
+    // benchmark (bfs levels, needle diagonals...) are averaged per
+    // label, as the paper does (SectionV-A).
     struct Agg
     {
         measure::KernelValidation sum;
@@ -34,14 +51,14 @@ runFigure6(const GpuConfig &cfg, const char *figure_name,
     };
     std::map<std::string, Agg> per_label;
 
-    for (auto &wl : workloads::makeAllWorkloads()) {
-        auto seq = wl->prepare(sim.gpu());
-        for (const auto &kl : seq) {
-            KernelRun run =
-                sim.runKernel(kl.prog, kl.launch, true, 20e-6);
+    for (const sim::ScenarioResult &row : result.rows()) {
+        if (!row.verified)
+            fatal("workload ", row.scenario.workload,
+                  " failed verification");
+        for (const sim::KernelResult &kr : row.kernels) {
             measure::KernelValidation v =
-                harness.validate(kl.label, run, kl.repeatable);
-            Agg &agg = per_label[kl.label];
+                harness.validate(kr.label, kr.run, kr.repeatable);
+            Agg &agg = per_label[kr.label];
             if (agg.n == 0) {
                 agg.sum = v;
             } else {
@@ -54,8 +71,6 @@ runFigure6(const GpuConfig &cfg, const char *figure_name,
             }
             ++agg.n;
         }
-        if (!wl->verify(sim.gpu()))
-            fatal("workload ", wl->name(), " failed verification");
     }
 
     std::printf("%-14s %9s %9s | %9s %9s | %9s %9s | %7s\n", "kernel",

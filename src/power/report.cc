@@ -81,6 +81,25 @@ PowerNode::format(int indent) const
 }
 
 std::string
+PowerNode::flatten(const std::string &prefix) const
+{
+    std::ostringstream oss;
+    std::string path = prefix.empty() ? name : prefix + "/" + name;
+    oss << strformat("%s area_mm2 %.9g\n", path.c_str(), area_mm2);
+    oss << strformat("%s sub_leakage_w %.9g\n", path.c_str(),
+                     sub_leakage_w);
+    oss << strformat("%s gate_leakage_w %.9g\n", path.c_str(),
+                     gate_leakage_w);
+    oss << strformat("%s peak_dynamic_w %.9g\n", path.c_str(),
+                     peak_dynamic_w);
+    oss << strformat("%s runtime_dynamic_w %.9g\n", path.c_str(),
+                     runtime_dynamic_w);
+    for (const auto &c : children)
+        oss << c.flatten(path);
+    return oss.str();
+}
+
+std::string
 PowerReport::format() const
 {
     std::ostringstream oss;

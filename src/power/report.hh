@@ -51,6 +51,13 @@ struct PowerNode
 
     /** Render an indented table like Table V of the paper. */
     std::string format(int indent = 0) const;
+
+    /**
+     * Flatten the tree into "path field value" lines (one metric per
+     * line, '/'-joined paths, %.9g values) — the stable serialization
+     * used by the golden-anchor regression tests.
+     */
+    std::string flatten(const std::string &prefix = "") const;
 };
 
 /** A full evaluation result. */

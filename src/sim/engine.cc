@@ -1,0 +1,132 @@
+#include "sim/engine.hh"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace gpusimpow {
+namespace sim {
+
+SimulationEngine::SimulationEngine(EngineOptions options)
+    : _options(std::move(options))
+{
+    _jobs = _options.jobs;
+    if (_jobs == 0) {
+        _jobs = std::thread::hardware_concurrency();
+        if (_jobs == 0)
+            _jobs = 1;
+    }
+}
+
+ScenarioResult
+SimulationEngine::runScenario(const Scenario &scenario) const
+{
+    ScenarioResult result;
+    result.scenario = scenario;
+
+    Simulator simulator(scenario.config);
+    auto workload =
+        workloads::makeWorkload(scenario.workload, scenario.scale);
+    auto launches = workload->prepare(simulator.gpu());
+
+    result.kernels.reserve(launches.size());
+    for (const workloads::KernelLaunch &kl : launches) {
+        KernelRun run = simulator.runKernel(kl.prog, kl.launch,
+                                            _options.with_trace,
+                                            _options.sample_interval_s);
+        double card_w = run.report.totalPower() + run.report.dram_w;
+        result.time_s += run.perf.time_s;
+        result.energy_j += card_w * run.perf.time_s;
+        result.kernels.push_back({kl.label, kl.repeatable,
+                                  std::move(run)});
+    }
+    result.avg_power_w =
+        result.time_s > 0.0 ? result.energy_j / result.time_s : 0.0;
+    result.static_w = simulator.powerModel().staticPower();
+    result.area_mm2 = simulator.powerModel().area();
+    result.vdd = simulator.powerModel().techNode().vdd;
+    result.verified = true;
+    if (scenario.verify && !result.kernels.empty())
+        result.verified = workload->verify(simulator.gpu());
+    return result;
+}
+
+SweepResult
+SimulationEngine::run(const SweepSpec &spec) const
+{
+    std::vector<Scenario> scenarios = spec.expand();
+    SweepResult table(scenarios.size());
+    if (scenarios.empty())
+        return table; // nothing to do; spawn no workers
+
+    std::size_t total = scenarios.size();
+    unsigned workers = _jobs;
+    if (static_cast<std::size_t>(workers) > total)
+        workers = static_cast<unsigned>(total);
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    // First-by-index exception: deterministic regardless of which
+    // worker hit it or how completion interleaved.
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    auto worker_loop = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= total)
+                return;
+            const Scenario &scenario = scenarios[i];
+            auto record_error = [&]() {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (scenario.index < error_index) {
+                    error_index = scenario.index;
+                    error = std::current_exception();
+                }
+            };
+            try {
+                ScenarioResult result = runScenario(scenario);
+                std::size_t completed = done.fetch_add(1) + 1;
+                table.set(std::move(result));
+                // The result is published before the progress hook
+                // runs, so a throwing callback cannot drop it; the
+                // callback's exception still surfaces from run().
+                if (_options.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    _options.progress(table.at(scenario.index),
+                                      completed, total);
+                }
+            } catch (...) {
+                record_error();
+            }
+        }
+    };
+
+    if (workers == 1) {
+        // Run inline: identical semantics, easier to debug/profile.
+        worker_loop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker_loop);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+    return table;
+}
+
+} // namespace sim
+} // namespace gpusimpow

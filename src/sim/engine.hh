@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The batch simulation engine: executes every scenario of a SweepSpec
+ * on a fixed-size pool of worker threads. Scenarios are independent
+ * (each worker owns a private Simulator and Workload instance), so
+ * throughput scales with the worker count while results stay
+ * bit-identical to a single-threaded run: workers pull scenario
+ * indices from a shared atomic cursor and publish into per-index
+ * slots of the SweepResult, and any worker exception is re-thrown
+ * deterministically (lowest scenario index wins) after the pool has
+ * drained.
+ */
+
+#ifndef GPUSIMPOW_SIM_ENGINE_HH
+#define GPUSIMPOW_SIM_ENGINE_HH
+
+#include <functional>
+
+#include "sim/sweep.hh"
+
+namespace gpusimpow {
+namespace sim {
+
+/** Tuning knobs of the SimulationEngine. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Also produce sampled power waveforms per kernel. */
+    bool with_trace = false;
+    /** Trace sampling period, s. */
+    double sample_interval_s = 20e-6;
+    /**
+     * Called after each scenario finishes (from worker threads, but
+     * serialized by the engine): finished result, completed count,
+     * total count. Completion order is nondeterministic; only use
+     * this for progress display.
+     */
+    std::function<void(const ScenarioResult &, std::size_t,
+                       std::size_t)> progress;
+};
+
+/** Fixed-size worker pool executing sweeps of independent scenarios. */
+class SimulationEngine
+{
+  public:
+    explicit SimulationEngine(EngineOptions options = {});
+
+    /** Effective worker count (options.jobs resolved). */
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Execute every scenario of the spec and return the completed
+     * result table in deterministic expansion order.
+     *
+     * If any scenario throws, the remaining scenarios still run to
+     * completion, then the exception of the lowest-indexed failing
+     * scenario is re-thrown — so error behavior does not depend on
+     * the worker count either.
+     */
+    SweepResult run(const SweepSpec &spec) const;
+
+    /**
+     * Execute one scenario on the calling thread. Exposed so tests
+     * and tools can compare single-scenario runs against sweep rows.
+     */
+    ScenarioResult runScenario(const Scenario &scenario) const;
+
+  private:
+    EngineOptions _options;
+    unsigned _jobs;
+};
+
+} // namespace sim
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_SIM_ENGINE_HH

@@ -18,6 +18,15 @@
  *     --static-only             print area/static report and exit
  *     --dump-config             print the effective XML and exit
  *     --list                    list available workloads and exit
+ *     --sweep                   batch mode: run the cartesian product
+ *                               of --gpu presets x --workload names
+ *                               x --nodes on the simulation engine
+ *     --jobs N                  sweep worker threads (default: all
+ *                               hardware threads)
+ *     --nodes N,M               process nodes (nm) swept in --sweep
+ *
+ * In --sweep mode --gpu and --workload accept comma-separated lists,
+ * and --workload also accepts "all" (every Table I benchmark).
  */
 
 #include <cstdio>
@@ -28,6 +37,7 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "sim/engine.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -47,6 +57,9 @@ struct Options
     bool static_only = false;
     bool dump_config = false;
     bool list = false;
+    bool sweep = false;
+    unsigned jobs = 0;
+    std::string nodes;
 };
 
 void
@@ -57,7 +70,8 @@ usage()
         "                 [--workload NAME] [--scale N]\n"
         "                 [--trace FILE.csv] [--sample-us N]\n"
         "                 [--stats] [--static-only] [--dump-config]\n"
-        "                 [--list]\n");
+        "                 [--list]\n"
+        "                 [--sweep] [--jobs N] [--nodes N,M]\n");
 }
 
 Options
@@ -93,6 +107,13 @@ parseArgs(int argc, char **argv)
             opt.dump_config = true;
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--sweep") {
+            opt.sweep = true;
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                parseLong(need_value("--jobs"), "--jobs"));
+        } else if (arg == "--nodes") {
+            opt.nodes = need_value("--nodes");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -117,9 +138,110 @@ resolveConfig(const Options &opt)
           "' (expected gt240 or gtx580)");
 }
 
+GpuConfig
+resolvePreset(const std::string &name)
+{
+    if (name == "gt240")
+        return GpuConfig::gt240();
+    if (name == "gtx580")
+        return GpuConfig::gtx580();
+    fatal("unknown GPU preset '", name,
+          "' (expected gt240 or gtx580)");
+}
+
+int
+runSweep(const Options &opt)
+{
+    // Per-kernel outputs make no sense across a whole sweep; reject
+    // the combination instead of silently ignoring the flag.
+    if (!opt.trace_file.empty())
+        fatal("--trace is not supported with --sweep");
+    if (opt.stats)
+        fatal("--stats is not supported with --sweep");
+    if (opt.static_only)
+        fatal("--static-only is not supported with --sweep");
+    if (opt.dump_config)
+        fatal("--dump-config is not supported with --sweep");
+
+    sim::SweepSpec spec;
+    // Stray commas ("a,b," or "a,,b") produce empty entries; drop
+    // them here rather than resolving them as names mid-sweep.
+    auto non_empty = [](const std::string &list) {
+        std::vector<std::string> out;
+        for (const std::string &entry : split(list, ','))
+            if (!entry.empty())
+                out.push_back(entry);
+        return out;
+    };
+    if (!opt.config_file.empty()) {
+        spec.configs.push_back(GpuConfig::fromXmlFile(opt.config_file));
+    } else {
+        for (const std::string &name : non_empty(opt.gpu))
+            spec.configs.push_back(resolvePreset(name));
+    }
+    if (opt.workload == "all") {
+        spec.workloads = workloads::listWorkloadNames();
+    } else {
+        spec.workloads = non_empty(opt.workload);
+    }
+    if (!opt.nodes.empty())
+        for (const std::string &node : non_empty(opt.nodes))
+            spec.tech_nodes.push_back(
+                static_cast<unsigned>(parseLong(node, "--nodes")));
+    spec.scale = opt.scale;
+
+    // An empty axis would "pass" with zero scenarios; treat it as the
+    // user error it is.
+    if (spec.configs.empty())
+        fatal("--sweep: no GPU configurations given (--gpu '",
+              opt.gpu, "')");
+    if (spec.workloads.empty())
+        fatal("--sweep: no workloads given (--workload '",
+              opt.workload, "')");
+    if (!opt.nodes.empty() && spec.tech_nodes.empty())
+        fatal("--sweep: no process nodes given (--nodes '", opt.nodes,
+              "')");
+
+    sim::EngineOptions eopt;
+    eopt.jobs = opt.jobs;
+    eopt.progress = [](const sim::ScenarioResult &r, std::size_t done,
+                       std::size_t total) {
+        std::fprintf(stderr, "[%zu/%zu] %s\n", done, total,
+                     r.scenario.label.c_str());
+    };
+    sim::SimulationEngine engine(eopt);
+
+    std::printf("sweep: %zu configs x %zu workloads",
+                spec.configs.size(), spec.workloads.size());
+    if (!spec.tech_nodes.empty())
+        std::printf(" x %zu nodes", spec.tech_nodes.size());
+    std::printf(" = %zu scenarios on %u worker(s)\n\n", spec.size(),
+                engine.jobs());
+
+    sim::SweepResult result = engine.run(spec);
+    std::fputs(result.formatTable().c_str(), stdout);
+    std::printf("\ntotal simulated time: %.3f ms\n",
+                result.totalSimulatedTime() * 1e3);
+
+    for (const sim::ScenarioResult &r : result.rows())
+        if (!r.verified)
+            return 1;
+    return 0;
+}
+
 int
 runTool(const Options &opt)
 {
+    if (opt.sweep)
+        return runSweep(opt);
+
+    // Symmetric to runSweep's checks: sweep-only flags are rejected,
+    // not silently ignored, outside --sweep.
+    if (opt.jobs != 0)
+        fatal("--jobs requires --sweep");
+    if (!opt.nodes.empty())
+        fatal("--nodes requires --sweep");
+
     if (opt.list) {
         std::printf("available workloads:\n");
         for (auto &wl : workloads::makeAllWorkloads()) {

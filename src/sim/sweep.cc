@@ -1,0 +1,115 @@
+#include "sim/sweep.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace gpusimpow {
+namespace sim {
+
+std::size_t
+SweepSpec::size() const
+{
+    std::size_t nodes = tech_nodes.empty() ? 1 : tech_nodes.size();
+    return configs.size() * nodes * workloads.size();
+}
+
+std::vector<Scenario>
+SweepSpec::expand() const
+{
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(size());
+    for (const GpuConfig &base : configs) {
+        // One pass per requested node; node 0 means "as configured".
+        std::vector<unsigned> nodes = tech_nodes;
+        if (nodes.empty())
+            nodes.push_back(0);
+        for (unsigned node : nodes) {
+            GpuConfig cfg = base;
+            if (node != 0) {
+                cfg.tech.node_nm = node;
+                cfg.tech.vdd = -1.0; // node-nominal supply
+            }
+            for (const std::string &wl : workloads) {
+                Scenario s;
+                s.index = scenarios.size();
+                s.config = cfg;
+                s.workload = wl;
+                s.scale = scale;
+                s.verify = verify;
+                s.label = cfg.name + "/" +
+                          std::to_string(cfg.tech.node_nm) + "nm/" + wl;
+                scenarios.push_back(std::move(s));
+            }
+        }
+    }
+    return scenarios;
+}
+
+SweepResult::SweepResult() : SweepResult(0) {}
+
+SweepResult::SweepResult(std::size_t scenario_count)
+    : _mutex(std::make_unique<std::mutex>()), _rows(scenario_count)
+{
+}
+
+void
+SweepResult::set(ScenarioResult result)
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    std::size_t index = result.scenario.index;
+    GSP_ASSERT(index < _rows.size(),
+               "scenario index ", index, " out of range ", _rows.size());
+    _rows[index] = std::move(result);
+}
+
+std::size_t
+SweepResult::size() const
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    return _rows.size();
+}
+
+const ScenarioResult &
+SweepResult::at(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    GSP_ASSERT(index < _rows.size(),
+               "scenario index ", index, " out of range ", _rows.size());
+    return _rows[index];
+}
+
+double
+SweepResult::totalSimulatedTime() const
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    double total = 0.0;
+    for (const ScenarioResult &r : _rows)
+        total += r.time_s;
+    return total;
+}
+
+std::string
+SweepResult::formatTable() const
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-40s %9s %10s %10s %11s %12s %6s\n", "scenario",
+                  "kernels", "time[us]", "power[W]", "energy[mJ]",
+                  "EDP[uJ*s]", "verify");
+    out += line;
+    for (const ScenarioResult &r : _rows) {
+        std::snprintf(line, sizeof(line),
+                      "%-40s %9zu %10.1f %10.2f %11.3f %12.4f %6s\n",
+                      r.scenario.label.c_str(), r.kernels.size(),
+                      r.time_s * 1e6, r.avg_power_w, r.energy_j * 1e3,
+                      r.edp() * 1e9, r.verified ? "PASS" : "FAIL");
+        out += line;
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace gpusimpow

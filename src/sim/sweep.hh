@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Batch-sweep vocabulary of the simulation engine: a SweepSpec
+ * describes a cartesian product of GPU configurations, workloads, and
+ * process nodes (the shape of the paper's Fig. 4/6 campaigns and the
+ * Table II configuration comparison); expand() flattens it into an
+ * ordered scenario list, and SweepResult collects the per-scenario
+ * outcomes in that same deterministic order regardless of how many
+ * workers produced them.
+ */
+
+#ifndef GPUSIMPOW_SIM_SWEEP_HH
+#define GPUSIMPOW_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "sim/simulator.hh"
+
+namespace gpusimpow {
+namespace sim {
+
+/** One point of a sweep: a fully-resolved configuration x workload. */
+struct Scenario
+{
+    /** Position in the sweep's deterministic expansion order. */
+    std::size_t index = 0;
+    /** Configuration to simulate (process node already applied). */
+    GpuConfig config;
+    /** Table I workload name ("matmul", "blackscholes", ...). */
+    std::string workload;
+    /** Problem-size multiplier. */
+    unsigned scale = 1;
+    /** Run the workload's device-vs-host verification afterwards. */
+    bool verify = true;
+    /** Human-readable tag, e.g. "GeForce GT240/40nm/matmul". */
+    std::string label;
+};
+
+/**
+ * Declarative description of a batch experiment: every config is
+ * evaluated at every process node with every workload. Expansion
+ * order is config-major, then node, then workload, so adding a
+ * workload never reorders existing scenarios.
+ */
+struct SweepSpec
+{
+    /** Base configurations (e.g. Table II presets, ablation points). */
+    std::vector<GpuConfig> configs;
+    /** Workload names, resolved through the workload registry. */
+    std::vector<std::string> workloads;
+    /**
+     * Process nodes in nm. Each entry re-targets the config to that
+     * node at its node-nominal supply. Empty = keep each config's own
+     * node (one pass per config).
+     */
+    std::vector<unsigned> tech_nodes;
+    /** Problem-size multiplier forwarded to every workload. */
+    unsigned scale = 1;
+    /** Run each workload's device-vs-host verification afterwards. */
+    bool verify = true;
+
+    /** Number of scenarios expand() will produce. */
+    std::size_t size() const;
+
+    /** Flatten into the deterministic scenario order. */
+    std::vector<Scenario> expand() const;
+};
+
+/** One kernel of a scenario, tagged with its Fig. 6 label. */
+struct KernelResult
+{
+    std::string label;
+    /** False for kernels too short to re-run for measurement
+     *  (workloads::KernelLaunch::repeatable). */
+    bool repeatable = true;
+    KernelRun run;
+};
+
+/** Everything measured for one scenario. */
+struct ScenarioResult
+{
+    Scenario scenario;
+    /** Per-kernel results in launch order. */
+    std::vector<KernelResult> kernels;
+    /** Simulated duration of the whole kernel sequence, s. */
+    double time_s = 0.0;
+    /** Card-level energy (chip + DRAM) over the sequence, J. */
+    double energy_j = 0.0;
+    /** Time-weighted average card power, W. */
+    double avg_power_w = 0.0;
+    /** Chip static power, W. */
+    double static_w = 0.0;
+    /** Chip area, mm^2. */
+    double area_mm2 = 0.0;
+    /** Core supply voltage the power model resolved and used, V. */
+    double vdd = 0.0;
+    /** Result of the workload's verification (true when skipped). */
+    bool verified = false;
+
+    /** Energy-delay product, J*s. */
+    double edp() const { return energy_j * time_s; }
+};
+
+/**
+ * Thread-safe result table of a sweep. Slots are preallocated in
+ * scenario order; workers publish each finished ScenarioResult into
+ * its own slot, so iteration order always matches SweepSpec::expand()
+ * no matter how many workers ran or in which order they finished.
+ */
+class SweepResult
+{
+  public:
+    SweepResult();
+    explicit SweepResult(std::size_t scenario_count);
+
+    /** Publish one finished scenario into its slot (thread-safe). */
+    void set(ScenarioResult result);
+
+    /** Number of scenario slots. */
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+
+    /** Scenario result by expansion index. */
+    const ScenarioResult &at(std::size_t index) const;
+
+    /**
+     * All rows in deterministic expansion order. Unsynchronized
+     * view — only iterate after the producing run() has returned
+     * (use at() to read single rows while workers may still be
+     * publishing).
+     */
+    const std::vector<ScenarioResult> &rows() const { return _rows; }
+
+    /** Sum of simulated kernel time across scenarios, s. */
+    double totalSimulatedTime() const;
+
+    /** Render an aligned summary table (one line per scenario). */
+    std::string formatTable() const;
+
+  private:
+    /** unique_ptr keeps SweepResult movable despite the mutex. */
+    std::unique_ptr<std::mutex> _mutex;
+    std::vector<ScenarioResult> _rows;
+};
+
+} // namespace sim
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_SIM_SWEEP_HH

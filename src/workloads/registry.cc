@@ -48,6 +48,15 @@ makeWorkload(const std::string &name, unsigned scale)
 }
 
 std::vector<std::string>
+listWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (auto &w : makeAllWorkloads())
+        names.push_back(w->name());
+    return names;
+}
+
+std::vector<std::string>
 figure6KernelOrder()
 {
     return {

@@ -78,6 +78,9 @@ std::vector<std::unique_ptr<Workload>> makeAllWorkloads(unsigned scale = 1);
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        unsigned scale = 1);
 
+/** Names of every registered benchmark, in Table I order. */
+std::vector<std::string> listWorkloadNames();
+
 /** The 19 kernel labels in Fig. 6 bar order. */
 std::vector<std::string> figure6KernelOrder();
 

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests of the batch simulation engine: sweep expansion order,
+ * determinism across worker counts, the empty-sweep edge case,
+ * exception propagation out of worker threads, and the thread-safety
+ * of the SweepResult table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/engine.hh"
+#include "sim/sweep.hh"
+
+using namespace gpusimpow;
+using sim::EngineOptions;
+using sim::Scenario;
+using sim::ScenarioResult;
+using sim::SimulationEngine;
+using sim::SweepResult;
+using sim::SweepSpec;
+
+namespace {
+
+/** Small, fast sweep: 2 configs x 2 nodes x 2 workloads. */
+SweepSpec
+smallSweep()
+{
+    SweepSpec spec;
+    GpuConfig small = GpuConfig::gt240();
+    small.clusters = 2;
+    spec.configs = {GpuConfig::gt240(), small};
+    spec.tech_nodes = {40u, 28u};
+    spec.workloads = {"vectoradd", "matmul"};
+    return spec;
+}
+
+SweepResult
+runWithJobs(const SweepSpec &spec, unsigned jobs)
+{
+    EngineOptions opt;
+    opt.jobs = jobs;
+    return SimulationEngine(opt).run(spec);
+}
+
+} // namespace
+
+TEST(SweepSpec, ExpansionOrderIsConfigMajorThenNodeThenWorkload)
+{
+    SweepSpec spec = smallSweep();
+    std::vector<Scenario> scenarios = spec.expand();
+    ASSERT_EQ(scenarios.size(), 8u);
+    ASSERT_EQ(spec.size(), scenarios.size());
+
+    // Indices are sequential in expansion order.
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        EXPECT_EQ(scenarios[i].index, i);
+
+    // config-major, then node, then workload.
+    EXPECT_EQ(scenarios[0].config.clusters, 4u);
+    EXPECT_EQ(scenarios[0].config.tech.node_nm, 40u);
+    EXPECT_EQ(scenarios[0].workload, "vectoradd");
+    EXPECT_EQ(scenarios[1].workload, "matmul");
+    EXPECT_EQ(scenarios[2].config.tech.node_nm, 28u);
+    EXPECT_EQ(scenarios[4].config.clusters, 2u);
+    EXPECT_EQ(scenarios[7].config.clusters, 2u);
+    EXPECT_EQ(scenarios[7].config.tech.node_nm, 28u);
+    EXPECT_EQ(scenarios[7].workload, "matmul");
+}
+
+TEST(SweepSpec, EmptyNodeListKeepsConfiguredNode)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gtx580()};
+    spec.workloads = {"vectoradd"};
+    std::vector<Scenario> scenarios = spec.expand();
+    ASSERT_EQ(scenarios.size(), 1u);
+    EXPECT_EQ(scenarios[0].config.tech.node_nm,
+              GpuConfig::gtx580().tech.node_nm);
+}
+
+TEST(Engine, EmptySweepReturnsEmptyResult)
+{
+    SweepSpec spec; // no configs, no workloads
+    SweepResult result = runWithJobs(spec, 4);
+    EXPECT_EQ(result.size(), 0u);
+    EXPECT_TRUE(result.empty());
+    EXPECT_EQ(result.rows().size(), 0u);
+    EXPECT_DOUBLE_EQ(result.totalSimulatedTime(), 0.0);
+}
+
+TEST(Engine, ConfigsWithoutWorkloadsIsEmpty)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    SweepResult result = runWithJobs(spec, 2);
+    EXPECT_TRUE(result.empty());
+}
+
+TEST(Engine, DeterministicAcrossWorkerCounts)
+{
+    SweepSpec spec = smallSweep();
+    SweepResult serial = runWithJobs(spec, 1);
+    SweepResult parallel = runWithJobs(spec, 8);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const ScenarioResult &a = serial.at(i);
+        const ScenarioResult &b = parallel.at(i);
+        // Rows correspond to the same scenario...
+        EXPECT_EQ(a.scenario.index, i);
+        EXPECT_EQ(b.scenario.index, i);
+        EXPECT_EQ(a.scenario.label, b.scenario.label);
+        // ...and every measured quantity is bit-identical.
+        EXPECT_EQ(a.time_s, b.time_s) << a.scenario.label;
+        EXPECT_EQ(a.energy_j, b.energy_j) << a.scenario.label;
+        EXPECT_EQ(a.avg_power_w, b.avg_power_w) << a.scenario.label;
+        EXPECT_EQ(a.static_w, b.static_w) << a.scenario.label;
+        EXPECT_EQ(a.area_mm2, b.area_mm2) << a.scenario.label;
+        EXPECT_TRUE(a.verified);
+        EXPECT_TRUE(b.verified);
+        ASSERT_EQ(a.kernels.size(), b.kernels.size());
+        for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+            EXPECT_EQ(a.kernels[k].label, b.kernels[k].label);
+            EXPECT_EQ(a.kernels[k].run.perf.cycles,
+                      b.kernels[k].run.perf.cycles);
+        }
+    }
+}
+
+TEST(Engine, RowsMatchSingleScenarioRuns)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"vectoradd", "matmul"};
+    SweepResult sweep = runWithJobs(spec, 4);
+
+    SimulationEngine engine;
+    std::vector<Scenario> scenarios = spec.expand();
+    ASSERT_EQ(sweep.size(), scenarios.size());
+    for (const Scenario &s : scenarios) {
+        ScenarioResult solo = engine.runScenario(s);
+        const ScenarioResult &row = sweep.at(s.index);
+        EXPECT_EQ(solo.time_s, row.time_s) << s.label;
+        EXPECT_EQ(solo.energy_j, row.energy_j) << s.label;
+    }
+}
+
+TEST(Engine, WorkerExceptionPropagatesToCaller)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    // The bad workload is surrounded by good ones; the engine must
+    // finish the good scenarios and still report the failure.
+    spec.workloads = {"vectoradd", "no-such-workload", "matmul"};
+    EXPECT_THROW(runWithJobs(spec, 4), FatalError);
+    EXPECT_THROW(runWithJobs(spec, 1), FatalError);
+}
+
+TEST(Engine, LowestIndexExceptionWinsRegardlessOfJobs)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"bogus-first", "vectoradd", "bogus-last"};
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        try {
+            runWithJobs(spec, jobs);
+            FAIL() << "expected FatalError at jobs=" << jobs;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("bogus-first"),
+                      std::string::npos)
+                << "jobs=" << jobs << ": got '" << e.what() << "'";
+        }
+    }
+}
+
+TEST(Engine, JobsZeroResolvesToHardwareConcurrency)
+{
+    EngineOptions opt;
+    opt.jobs = 0;
+    SimulationEngine engine(opt);
+    EXPECT_GE(engine.jobs(), 1u);
+
+    opt.jobs = 3;
+    EXPECT_EQ(SimulationEngine(opt).jobs(), 3u);
+}
+
+TEST(Engine, ProgressCallbackSeesEveryScenarioExactlyOnce)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"vectoradd", "matmul", "blackscholes"};
+
+    std::vector<int> seen(spec.size(), 0);
+    std::size_t max_done = 0;
+    EngineOptions opt;
+    opt.jobs = 4;
+    opt.progress = [&](const ScenarioResult &r, std::size_t done,
+                       std::size_t total) {
+        // The engine serializes progress callbacks, so plain writes
+        // are safe here.
+        ASSERT_LT(r.scenario.index, seen.size());
+        seen[r.scenario.index]++;
+        EXPECT_EQ(total, seen.size());
+        EXPECT_GE(done, 1u);
+        EXPECT_LE(done, total);
+        if (done > max_done)
+            max_done = done;
+    };
+    SimulationEngine(opt).run(spec);
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+    EXPECT_EQ(max_done, seen.size());
+}
+
+TEST(SweepResult, SetIsThreadSafeAndSlotsStayOrdered)
+{
+    constexpr std::size_t kSlots = 64;
+    SweepResult table(kSlots);
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = cursor.fetch_add(1);
+                if (i >= kSlots)
+                    return;
+                ScenarioResult r;
+                r.scenario.index = i;
+                r.time_s = static_cast<double>(i);
+                table.set(std::move(r));
+            }
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+
+    ASSERT_EQ(table.size(), kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        EXPECT_EQ(table.at(i).scenario.index, i);
+        EXPECT_DOUBLE_EQ(table.at(i).time_s, static_cast<double>(i));
+    }
+}
+
+TEST(SweepResult, FormatTableListsRowsInExpansionOrder)
+{
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"vectoradd", "matmul"};
+    SweepResult result = runWithJobs(spec, 2);
+    std::string table = result.formatTable();
+    std::size_t first = table.find("vectoradd");
+    std::size_t second = table.find("matmul");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_LT(first, second);
+}
