@@ -38,10 +38,12 @@ table2Sweep()
 
 double
 runOnce(const sim::SweepSpec &spec, unsigned jobs,
-        std::vector<double> &energies_out)
+        std::vector<double> &energies_out,
+        bool reuse_simulators = true)
 {
     sim::EngineOptions opt;
     opt.jobs = jobs;
+    opt.reuse_simulators = reuse_simulators;
     sim::SimulationEngine engine(opt);
     auto t0 = std::chrono::steady_clock::now();
     sim::SweepResult result = engine.run(spec);
@@ -93,6 +95,51 @@ main()
         std::printf("\nspeedup at --jobs 8 over --jobs 1: %.2fx "
                     "(results bit-identical at every worker count)\n",
                     speedup_at_8);
+
+        // --- Simulator reuse on workload-only sweeps ---
+        // All scenarios of one config share a fingerprint, so the
+        // engine recycles each worker's Simulator instead of
+        // rebuilding GPU + power model per scenario. The per-scenario
+        // setup saving is measured in isolation (kernel simulation
+        // time would otherwise drown it), then a real workload-only
+        // sweep cross-checks that both modes are bit-identical.
+        constexpr int kSetupIters = 500;
+        GpuConfig setup_cfg = GpuConfig::gtx580();
+        auto s0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kSetupIters; ++i)
+            Simulator rebuild_sim(setup_cfg);
+        auto s1 = std::chrono::steady_clock::now();
+        Simulator recycled(setup_cfg);
+        for (int i = 0; i < kSetupIters; ++i)
+            recycled.recycle();
+        auto s2 = std::chrono::steady_clock::now();
+        double rebuild_us = std::chrono::duration<double>(s1 - s0)
+                                .count() * 1e6 / kSetupIters;
+        double recycle_us = std::chrono::duration<double>(s2 - s1)
+                                .count() * 1e6 / kSetupIters;
+        std::printf("\n=== Simulator reuse: per-scenario setup cost "
+                    "(GTX580, %d iterations) ===\n", kSetupIters);
+        std::printf("%12s %14s\n", "mode", "setup[us]");
+        std::printf("%12s %14.1f\n", "rebuild", rebuild_us);
+        std::printf("%12s %14.1f\n", "recycle", recycle_us);
+        std::printf("recycling skips %.1f%% of per-scenario setup "
+                    "(%.1f us each)\n",
+                    (1.0 - recycle_us / rebuild_us) * 100.0,
+                    rebuild_us - recycle_us);
+
+        sim::SweepSpec wl_spec;
+        wl_spec.configs = {GpuConfig::gt240()};
+        wl_spec.workloads = {"vectoradd", "scalarprod", "matmul",
+                             "blackscholes"};
+        std::vector<double> reuse_e, rebuild_e;
+        double reuse_s = runOnce(wl_spec, 2, reuse_e, true);
+        double rebuild_s = runOnce(wl_spec, 2, rebuild_e, false);
+        if (reuse_e != rebuild_e)
+            fatal("simulator reuse changed sweep results");
+        std::printf("workload-only sweep (%zu scenarios): reuse "
+                    "%.3f s vs rebuild %.3f s, results "
+                    "bit-identical\n", wl_spec.size(), reuse_s,
+                    rebuild_s);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;

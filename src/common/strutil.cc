@@ -1,6 +1,7 @@
 #include "common/strutil.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -50,10 +51,27 @@ parseLong(const std::string &s, const std::string &context)
 {
     char *end = nullptr;
     std::string t = trim(s);
+    errno = 0;
     long v = std::strtol(t.c_str(), &end, 0);
     if (t.empty() || end == nullptr || *end != '\0')
         fatal("cannot parse integer '", s, "' (", context, ")");
+    if (errno == ERANGE)
+        fatal("integer '", s, "' overflows (", context, ")");
     return v;
+}
+
+unsigned
+parseUnsigned(const std::string &s, const std::string &context,
+              unsigned min, unsigned max)
+{
+    long v = parseLong(s, context);
+    // Compare in unsigned long: wide enough for any unsigned bound
+    // even on LLP64/ILP32 platforms where long is 32 bits.
+    if (v < 0 || static_cast<unsigned long>(v) < min ||
+        static_cast<unsigned long>(v) > max)
+        fatal("value ", v, " out of range [", min, ", ", max, "] (",
+              context, ")");
+    return static_cast<unsigned>(v);
 }
 
 double

@@ -25,6 +25,14 @@ bool startsWith(const std::string &s, const std::string &prefix);
 /** Parse a decimal integer; fatal() with context on failure. */
 long parseLong(const std::string &s, const std::string &context);
 
+/**
+ * Parse a non-negative integer within [min, max]; fatal() with
+ * context on failure. Negative input is rejected with a range
+ * message instead of wrapping through an unsigned cast.
+ */
+unsigned parseUnsigned(const std::string &s, const std::string &context,
+                       unsigned min = 0, unsigned max = 4294967295u);
+
 /** Parse a floating-point number; fatal() with context on failure. */
 double parseDouble(const std::string &s, const std::string &context);
 

@@ -1,5 +1,7 @@
 #include "config/gpu_config.hh"
 
+#include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 #include <vector>
@@ -69,10 +71,14 @@ class ParamIo
     param(const std::string &name, double &v)
     {
         if (_mode == Mode::Save) {
-            std::ostringstream oss;
-            oss.precision(12);
-            oss << v;
-            write(name, oss.str());
+            // Shortest representation that reparses to the same bits:
+            // keeps files readable while making toXml() a faithful
+            // fingerprint (the engine's Simulator-reuse key) and the
+            // save/load round trip exact.
+            std::string s = strformat("%.12g", v);
+            if (std::strtod(s.c_str(), nullptr) != v)
+                s = strformat("%.17g", v);
+            write(name, s);
         } else if (const std::string *s = find(name)) {
             v = parseDouble(*s, "param " + name);
         }
@@ -149,6 +155,7 @@ describe(GpuConfig &cfg, ParamIo &io)
         io.param("uncore_hz", cfg.clocks.uncore_hz);
         io.param("shader_to_uncore", cfg.clocks.shader_to_uncore);
         io.param("dram_hz", cfg.clocks.dram_hz);
+        io.param("freq_scale", cfg.clocks.freq_scale);
     });
 
     io.section("core", [&] {
@@ -232,6 +239,7 @@ describe(GpuConfig &cfg, ParamIo &io)
     io.section("tech", [&] {
         io.param("node_nm", cfg.tech.node_nm);
         io.param("vdd", cfg.tech.vdd);
+        io.param("vdd_scale", cfg.tech.vdd_scale);
         io.param("temperature", cfg.tech.temperature);
     });
 
@@ -274,9 +282,80 @@ validate(const GpuConfig &cfg)
     if (cfg.core.sched_policy != "rr" && cfg.core.sched_policy != "gto")
         fatal("unknown sched_policy '", cfg.core.sched_policy,
               "' (expected rr or gto)");
+    cfg.operatingPoint().validate();
 }
 
 } // namespace
+
+std::string
+OperatingPoint::label() const
+{
+    return strformat("v%.4gf%.4g", vdd_scale, freq_scale);
+}
+
+double
+OperatingPoint::maxFreqScale() const
+{
+    // Alpha-power MOSFET delay model (Sakurai-Newton): critical-path
+    // speed ~ (V - Vt)^alpha / V with alpha ~ 1.3 for short-channel
+    // devices and Vt ~ 35% of the nominal supply.
+    constexpr double vt = 0.35, alpha = 1.3;
+    if (vdd_scale <= vt)
+        return 0.0;
+    double speed = std::pow(vdd_scale - vt, alpha) / vdd_scale;
+    double nominal = std::pow(1.0 - vt, alpha);
+    return speed / nominal;
+}
+
+void
+OperatingPoint::validate() const
+{
+    // Wide enough for any realistic DVFS ladder; tight enough to
+    // catch typos ("9" for "0.9") and sign errors.
+    constexpr double lo = 0.25, hi = 2.0;
+    if (!(vdd_scale >= lo && vdd_scale <= hi))
+        fatal("vdd_scale ", vdd_scale, " out of range [", lo, ", ", hi,
+              "]");
+    if (!(freq_scale >= lo && freq_scale <= hi))
+        fatal("freq_scale ", freq_scale, " out of range [", lo, ", ",
+              hi, "]");
+}
+
+void
+OperatingPoint::applyTo(GpuConfig &cfg) const
+{
+    validate();
+    cfg.tech.vdd_scale = vdd_scale;
+    cfg.clocks.freq_scale = freq_scale;
+}
+
+OperatingPoint
+OperatingPoint::parse(const std::string &spec)
+{
+    std::vector<std::string> parts = split(trim(spec), ':');
+    if (parts.size() > 2 || parts[0].empty() ||
+        (parts.size() == 2 && parts[1].empty()))
+        fatal("malformed operating point '", spec,
+              "' (expected V or V:F, e.g. 0.9 or 0.9:0.8)");
+    OperatingPoint op;
+    op.vdd_scale = parseDouble(parts[0], "operating point vdd scale");
+    op.freq_scale = parts.size() == 2
+                        ? parseDouble(parts[1],
+                                      "operating point freq scale")
+                        : op.vdd_scale;
+    op.validate();
+    return op;
+}
+
+std::vector<OperatingPoint>
+OperatingPoint::parseList(const std::string &csv)
+{
+    std::vector<OperatingPoint> ops;
+    for (const std::string &entry : split(csv, ','))
+        if (!trim(entry).empty())
+            ops.push_back(parse(entry));
+    return ops;
+}
 
 std::string
 GpuConfig::toXml() const

@@ -17,10 +17,70 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gpusimpow {
 
 namespace xml { class Node; }
+
+struct GpuConfig;
+
+/**
+ * One DVFS operating point of the core power domain: a relative
+ * supply scale and a relative clock scale against the configuration's
+ * nominal V/f pair. The paper's Eq. 1 (P_dyn = alpha*C*V^2*f plus
+ * short-circuit power) makes both natural sweep dimensions; the
+ * identity point {1, 1} reproduces the nominal configuration
+ * bit-exactly. The memory (GDDR5/MC PHY) and PCIe domains run from
+ * separate supplies and are not scaled.
+ */
+struct OperatingPoint
+{
+    /** Core supply relative to the configured Vdd. */
+    double vdd_scale = 1.0;
+    /** Shader/uncore clock relative to the configured clocks. */
+    double freq_scale = 1.0;
+
+    /** True for the nominal {1, 1} point. */
+    bool isIdentity() const
+    {
+        return vdd_scale == 1.0 && freq_scale == 1.0;
+    }
+
+    /** Compact tag for scenario labels, e.g. "v0.9f0.8". */
+    std::string label() const;
+
+    /**
+     * Highest frequency scale the scaled supply can sustain, per the
+     * alpha-power delay law fmax(V) ~ (V - Vt)^alpha / V normalized
+     * to 1 at the nominal supply. The simulator will happily run
+     * infeasible points (useful for what-if studies); governors and
+     * Pareto tools use this to mask them.
+     */
+    double maxFreqScale() const;
+
+    /** True when freq_scale is achievable at this vdd_scale. */
+    bool isFeasible() const
+    {
+        return freq_scale <= maxFreqScale() * (1.0 + 1e-9);
+    }
+
+    /** fatal() unless both scales are within the supported range. */
+    void validate() const;
+
+    /** Scale the config's core V/f domain to this point. */
+    void applyTo(GpuConfig &cfg) const;
+
+    /**
+     * Parse one point from "V[:F]" ("0.9" means V=F=0.9, "0.9:0.8"
+     * sets them separately); fatal() on malformed or out-of-range
+     * input.
+     */
+    static OperatingPoint parse(const std::string &spec);
+
+    /** Parse a comma-separated list of points (empty entries dropped). */
+    static std::vector<OperatingPoint> parseList(const std::string &csv);
+};
 
 /** Clock domains of the modeled card (paper Table II). */
 struct ClockConfig
@@ -31,9 +91,18 @@ struct ClockConfig
     double shader_to_uncore = 2.47;
     /** GDDR command clock in Hz (data rate is 4x for GDDR5). */
     double dram_hz = 850e6;
+    /** DVFS scale applied to the core clock domain (uncore+shader);
+     *  the DRAM clock is a separate domain and stays unscaled. */
+    double freq_scale = 1.0;
+
+    /** Effective uncore clock at the current operating point, Hz. */
+    double uncoreHz() const { return uncore_hz * freq_scale; }
 
     /** Shader-domain clock in Hz. */
-    double shaderHz() const { return uncore_hz * shader_to_uncore; }
+    double shaderHz() const
+    {
+        return uncore_hz * freq_scale * shader_to_uncore;
+    }
 };
 
 /** Per-core (streaming multiprocessor) structure sizes. */
@@ -206,8 +275,10 @@ struct TechConfig
 {
     /** Feature size in nanometers (e.g. 40). */
     unsigned node_nm = 40;
-    /** Core supply voltage. */
+    /** Core supply voltage (<= 0 selects the node-nominal supply). */
     double vdd = 1.05;
+    /** DVFS scale applied to the resolved core supply. */
+    double vdd_scale = 1.0;
     /** Junction temperature in Kelvin used for leakage. */
     double temperature = 350.0;
 };
@@ -267,6 +338,12 @@ struct GpuConfig
 
     /** Total SIMT cores on the chip. */
     unsigned numCores() const { return clusters * cores_per_cluster; }
+
+    /** The DVFS operating point currently applied to this config. */
+    OperatingPoint operatingPoint() const
+    {
+        return {tech.vdd_scale, clocks.freq_scale};
+    }
 
     /** Serialize to the XML configuration format. */
     std::string toXml() const;

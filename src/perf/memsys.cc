@@ -12,7 +12,10 @@ namespace perf {
 MemorySystem::MemorySystem(const GpuConfig &cfg) : _cfg(cfg)
 {
     _uncore_per_shader = 1.0 / cfg.clocks.shader_to_uncore;
-    _dram_per_uncore = cfg.clocks.dram_hz / cfg.clocks.uncore_hz;
+    // DVFS scales the core clock domain but not the DRAM clock, so
+    // the relative DRAM service rate shifts with the operating point
+    // (memory-bound kernels stop speeding up with the core clock).
+    _dram_per_uncore = cfg.clocks.dram_hz / cfg.clocks.uncoreHz();
     _line_bytes = cfg.l2.present ? cfg.l2.line_bytes : cfg.core.line_bytes;
     _burst_bytes = cfg.dram.channel_bits / 8 * cfg.dram.burst_length;
     _flits_per_line =

@@ -42,8 +42,13 @@ constexpr double l2_leak_scale = 1.5;
 GpuPowerModel::GpuPowerModel(const GpuConfig &cfg)
     : _cfg(cfg),
       _t(tech::TechNode::make(cfg.tech.node_nm, cfg.tech.vdd,
-                              cfg.tech.temperature))
+                              cfg.tech.temperature,
+                              cfg.tech.vdd_scale))
 {
+    // Empirically measured base *powers* (Section III-D) were fitted
+    // at the nominal operating point; Eq. 1 scales them with V^2*f.
+    double vs = _cfg.tech.vdd_scale;
+    _base_power_scale = vs * vs * _cfg.clocks.freq_scale;
     _core_model = std::make_unique<CorePowerModel>(_cfg, _t);
     _dram_power =
         std::make_unique<dram::Gddr5Power>(_cfg.dram, _cfg.clocks.dram_hz);
@@ -66,8 +71,8 @@ GpuPowerModel::buildUncore()
                            static_cast<double>(ports) *
                            _cfg.noc.link_bits;
     _noc.peak_dynamic_w =
-        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncore_hz +
-        _noc_flit_energy_j * _cfg.clocks.uncore_hz;
+        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncoreHz() +
+        _noc_flit_energy_j * _cfg.clocks.uncoreHz();
 
     // --- Memory controllers ---
     double if_bits = static_cast<double>(_cfg.dram.channels) *
@@ -108,7 +113,7 @@ GpuPowerModel::buildUncore()
             slice.numbers().gate_leak_w * _cfg.l2.slices * l2_leak_scale;
         _l2_access_energy_j = slice.readEnergy() * l2_dyn_scale;
         _l2.peak_dynamic_w = _l2_access_energy_j *
-                             _cfg.clocks.uncore_hz * _cfg.l2.slices /
+                             _cfg.clocks.uncoreHz() * _cfg.l2.slices /
                              4.0;
     }
 }
@@ -133,10 +138,12 @@ GpuPowerModel::evaluate(const perf::ChipActivity &act) const
     double cluster_base_total = 0.0;
     for (uint64_t busy : act.cluster_busy_cycles) {
         cluster_base_total += _cfg.calib.cluster_base_w *
+                              _base_power_scale *
                               std::min(1.0,
                                        static_cast<double>(busy) / cycles);
     }
-    double sched_w = _cfg.calib.global_sched_w * gpu_busy_frac;
+    double sched_w =
+        _cfg.calib.global_sched_w * _base_power_scale * gpu_busy_frac;
     unsigned n_cores = _cfg.numCores();
 
     // L2 attribution: the paper's LDSTU "encapsulates ... the L2
@@ -162,7 +169,8 @@ GpuPowerModel::evaluate(const perf::ChipActivity &act) const
         double resident_frac = std::min(
             1.0, static_cast<double>(act.cores[i].cycles_resident) /
                      cycles);
-        double base_dyn = _cfg.calib.core_base_dyn_w * resident_frac;
+        double base_dyn = _cfg.calib.core_base_dyn_w *
+                          _base_power_scale * resident_frac;
         _core_model->populate(core, act.cores[i], elapsed, base_dyn,
                               l2_share, l2_dyn_w);
         if (const PowerNode *wcu = core.find("WCU"))
@@ -193,7 +201,7 @@ GpuPowerModel::evaluate(const perf::ChipActivity &act) const
         static_cast<double>(_cfg.numCores() + _cfg.dram.channels) *
         _cfg.noc.link_bits;
     noc.runtime_dynamic_w =
-        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncore_hz *
+        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncoreHz() *
             gpu_busy_frac +
         act.mem.noc_flits * _noc_flit_energy_j / elapsed;
     analytic_dyn += noc.runtime_dynamic_w;
@@ -277,9 +285,10 @@ GpuPowerModel::peakDynamicPower() const
     PowerReport rep = staticReport();
     double peak = rep.gpu.totalPeak();
     // Base power at full occupancy.
-    peak += _cfg.calib.global_sched_w +
-            _cfg.calib.cluster_base_w * _cfg.clusters +
-            _cfg.calib.core_base_dyn_w * _cfg.numCores();
+    peak += (_cfg.calib.global_sched_w +
+             _cfg.calib.cluster_base_w * _cfg.clusters +
+             _cfg.calib.core_base_dyn_w * _cfg.numCores()) *
+            _base_power_scale;
     return peak;
 }
 

@@ -56,6 +56,9 @@ class GpuPowerModel
   private:
     GpuConfig _cfg;
     tech::TechNode _t;
+    /** V^2*f scale of the empirical base-power constants at the
+     *  configured DVFS operating point (1.0 at the identity point). */
+    double _base_power_scale = 1.0;
     std::unique_ptr<CorePowerModel> _core_model;
     std::unique_ptr<dram::Gddr5Power> _dram_power;
 

@@ -42,7 +42,8 @@ constexpr double sfu_area_mm2 = 0.35;
 
 CorePowerModel::CorePowerModel(const GpuConfig &cfg,
                                const tech::TechNode &t)
-    : _cfg(cfg), _t(t), _fclk(cfg.clocks.shaderHz())
+    : _cfg(cfg), _t(t), _fclk(cfg.clocks.shaderHz()),
+      _calib_e_scale(cfg.tech.vdd_scale * cfg.tech.vdd_scale)
 {
     const CoreConfig &c = cfg.core;
     unsigned warps = c.maxWarps();
@@ -121,9 +122,10 @@ CorePowerModel::CorePowerModel(const GpuConfig &cfg,
     _eu.sub_leakage_w = _eu.area_mm2 * leak_density;
     _eu.gate_leakage_w = 0.1 * _eu.sub_leakage_w;
     _eu.peak_dynamic_w =
-        (c.fp_lanes * _cfg.calib.fp_op_pj +
-         c.int_lanes * _cfg.calib.int_op_pj) * 1e-12 * _fclk +
-        c.sfu_units * _cfg.calib.sfu_op_pj * 1e-12 * _fclk;
+        ((c.fp_lanes * _cfg.calib.fp_op_pj +
+          c.int_lanes * _cfg.calib.int_op_pj) * 1e-12 * _fclk +
+         c.sfu_units * _cfg.calib.sfu_op_pj * 1e-12 * _fclk) *
+        _calib_e_scale;
 
     // --- LDSTU (Fig. 3) ---
     _agu_adders = c.sagu_count * 8;   // 8 addresses per SAGU [22]
@@ -288,17 +290,19 @@ double
 CorePowerModel::euEnergy(const perf::CoreActivity &a) const
 {
     // Empirical model of SectionIII-D: measured energy per executed
-    // instruction per enabled lane (~40 pJ INT, ~75 pJ FP).
+    // instruction per enabled lane (~40 pJ INT, ~75 pJ FP), measured
+    // at nominal supply and rescaled with V^2 (Eq. 1) under DVFS.
     return (a.int_lane_ops * _cfg.calib.int_op_pj +
             a.fp_lane_ops * _cfg.calib.fp_op_pj +
-            a.sfu_lane_ops * _cfg.calib.sfu_op_pj) * 1e-12;
+            a.sfu_lane_ops * _cfg.calib.sfu_op_pj) * 1e-12 *
+           _calib_e_scale;
 }
 
 double
 CorePowerModel::ldstEnergy(const perf::CoreActivity &a) const
 {
     double e = 0.0;
-    e += a.agu_addrs * _cfg.calib.agu_addr_pj * 1e-12;
+    e += a.agu_addrs * _cfg.calib.agu_addr_pj * 1e-12 * _calib_e_scale;
     e += a.coalescer_lookups * _coalescer->writeEnergy();
     e += a.coalescer_transactions * _coalescer->readEnergy();
     e += a.smem_accesses * (_smem_bank->readEnergy() +
@@ -380,7 +384,10 @@ CorePowerModel::populate(PowerNode &node, const perf::CoreActivity &act,
         ldstEnergy(act) / elapsed_s + l2_share_dyn_w;
 
     PowerNode &undiff = node.child("Undiff. Core");
-    undiff.sub_leakage_w = _cfg.calib.undiff_core_static_w;
+    // The lumped residual was measured at nominal supply; leakage
+    // power tracks roughly V^2 over DVFS-sized supply excursions.
+    undiff.sub_leakage_w =
+        _cfg.calib.undiff_core_static_w * _calib_e_scale;
     undiff.area_mm2 = _cfg.calib.undiff_core_area_mm2;
 }
 

@@ -69,6 +69,9 @@ class CorePowerModel
     const GpuConfig &_cfg;
     tech::TechNode _t;
     double _fclk;
+    /** V^2 scale of the empirical per-op calibration energies at the
+     *  configured DVFS operating point (1.0 at the identity point). */
+    double _calib_e_scale;
 
     // --- WCU ---
     std::unique_ptr<circuit::SramArray> _wst;

@@ -27,10 +27,17 @@ SimulationEngine::SimulationEngine(EngineOptions options)
 ScenarioResult
 SimulationEngine::runScenario(const Scenario &scenario) const
 {
+    Simulator simulator(scenario.config);
+    return runScenario(scenario, simulator);
+}
+
+ScenarioResult
+SimulationEngine::runScenario(const Scenario &scenario,
+                              Simulator &simulator) const
+{
     ScenarioResult result;
     result.scenario = scenario;
 
-    Simulator simulator(scenario.config);
     auto workload =
         workloads::makeWorkload(scenario.workload, scenario.scale);
     auto launches = workload->prepare(simulator.gpu());
@@ -51,6 +58,7 @@ SimulationEngine::runScenario(const Scenario &scenario) const
     result.static_w = simulator.powerModel().staticPower();
     result.area_mm2 = simulator.powerModel().area();
     result.vdd = simulator.powerModel().techNode().vdd;
+    result.shader_hz = scenario.config.clocks.shaderHz();
     result.verified = true;
     if (scenario.verify && !result.kernels.empty())
         result.verified = workload->verify(simulator.gpu());
@@ -81,6 +89,14 @@ SimulationEngine::run(const SweepSpec &spec) const
     std::exception_ptr error;
 
     auto worker_loop = [&]() {
+        // Per-worker Simulator cache (single entry), keyed on the
+        // scenario's full serialized configuration — which covers
+        // architecture, node retarget, and operating point. Scenario
+        // order is workload-innermost, so workload-only stretches
+        // share one fingerprint and the worker keeps its Simulator —
+        // and with it the power model — alive across them.
+        std::unique_ptr<Simulator> cached;
+        std::string cached_fp;
         for (;;) {
             std::size_t i = cursor.fetch_add(1);
             if (i >= total)
@@ -94,7 +110,20 @@ SimulationEngine::run(const SweepSpec &spec) const
                 }
             };
             try {
-                ScenarioResult result = runScenario(scenario);
+                ScenarioResult result;
+                if (_options.reuse_simulators) {
+                    std::string fp = scenario.config.toXml();
+                    if (cached && cached_fp == fp) {
+                        cached->recycle();
+                    } else {
+                        cached = std::make_unique<Simulator>(
+                            scenario.config);
+                    }
+                    cached_fp = std::move(fp);
+                    result = runScenario(scenario, *cached);
+                } else {
+                    result = runScenario(scenario);
+                }
                 std::size_t completed = done.fetch_add(1) + 1;
                 table.set(std::move(result));
                 // The result is published before the progress hook
@@ -106,6 +135,10 @@ SimulationEngine::run(const SweepSpec &spec) const
                                       completed, total);
                 }
             } catch (...) {
+                // The failed run may have left the Simulator mid-
+                // kernel; never recycle it into another scenario.
+                cached.reset();
+                cached_fp.clear();
                 record_error();
             }
         }

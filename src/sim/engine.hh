@@ -9,6 +9,13 @@
  * slots of the SweepResult, and any worker exception is re-thrown
  * deterministically (lowest scenario index wins) after the pool has
  * drained.
+ *
+ * Workers recycle their Simulator across scenarios that share an
+ * identical (config, node, operating point) fingerprint — the
+ * workload-innermost expansion order makes that the common case — so
+ * workload-only sweeps build each power model once per worker instead
+ * of once per scenario. Device state is reset between scenarios, so
+ * reuse is observationally identical to a fresh Simulator.
  */
 
 #ifndef GPUSIMPOW_SIM_ENGINE_HH
@@ -30,6 +37,15 @@ struct EngineOptions
     bool with_trace = false;
     /** Trace sampling period, s. */
     double sample_interval_s = 20e-6;
+    /**
+     * Recycle a worker's Simulator (and with it the expensive power
+     * model) across scenarios whose (config, node, operating point)
+     * fingerprints are identical, instead of rebuilding it per
+     * scenario. Results are bit-identical either way — the knob
+     * exists for benchmarking the rebuild cost (bench_sweep_throughput)
+     * and as an escape hatch.
+     */
+    bool reuse_simulators = true;
     /**
      * Called after each scenario finishes (from worker threads, but
      * serialized by the engine): finished result, completed count,
@@ -65,6 +81,13 @@ class SimulationEngine
      * and tools can compare single-scenario runs against sweep rows.
      */
     ScenarioResult runScenario(const Scenario &scenario) const;
+
+    /**
+     * Execute one scenario on a caller-provided Simulator that was
+     * built from an identical configuration (the reuse fast path).
+     */
+    ScenarioResult runScenario(const Scenario &scenario,
+                               Simulator &simulator) const;
 
   private:
     EngineOptions _options;

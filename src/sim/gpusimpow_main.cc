@@ -12,6 +12,8 @@
  *     --config FILE             XML configuration (overrides --gpu)
  *     --workload NAME           Table I benchmark (default vectoradd)
  *     --scale N                 problem-size multiplier (default 1)
+ *     --vdd-scale X             DVFS supply scale (single run)
+ *     --freq-scale X            DVFS core-clock scale (single run)
  *     --trace FILE.csv          write a sampled power waveform
  *     --sample-us N             trace sampling period (default 20)
  *     --stats                   dump raw activity counters
@@ -20,10 +22,13 @@
  *     --list                    list available workloads and exit
  *     --sweep                   batch mode: run the cartesian product
  *                               of --gpu presets x --workload names
- *                               x --nodes on the simulation engine
+ *                               x --nodes x --vf on the engine
  *     --jobs N                  sweep worker threads (default: all
  *                               hardware threads)
  *     --nodes N,M               process nodes (nm) swept in --sweep
+ *     --vf V[:F],...            DVFS operating points swept in
+ *                               --sweep ("0.9" means V=F=0.9,
+ *                               "0.9:0.8" sets them separately)
  *
  * In --sweep mode --gpu and --workload accept comma-separated lists,
  * and --workload also accepts "all" (every Table I benchmark).
@@ -39,6 +44,7 @@
 #include "common/strutil.hh"
 #include "sim/engine.hh"
 #include "sim/simulator.hh"
+#include "tech/tech.hh"
 #include "workloads/workload.hh"
 
 using namespace gpusimpow;
@@ -51,8 +57,13 @@ struct Options
     std::string config_file;
     std::string workload = "vectoradd";
     unsigned scale = 1;
+    double vdd_scale = 1.0;
+    double freq_scale = 1.0;
+    bool vdd_scale_set = false;
+    bool freq_scale_set = false;
     std::string trace_file;
     double sample_us = 20.0;
+    bool sample_us_set = false;
     bool stats = false;
     bool static_only = false;
     bool dump_config = false;
@@ -60,7 +71,11 @@ struct Options
     bool sweep = false;
     unsigned jobs = 0;
     std::string nodes;
+    std::string vf;
 };
+
+/** Engine worker cap: above this, thread overhead only hurts. */
+constexpr unsigned max_jobs = 1024;
 
 void
 usage()
@@ -68,10 +83,12 @@ usage()
     std::printf(
         "usage: gpusimpow [--gpu gt240|gtx580] [--config FILE]\n"
         "                 [--workload NAME] [--scale N]\n"
+        "                 [--vdd-scale X] [--freq-scale X]\n"
         "                 [--trace FILE.csv] [--sample-us N]\n"
         "                 [--stats] [--static-only] [--dump-config]\n"
         "                 [--list]\n"
-        "                 [--sweep] [--jobs N] [--nodes N,M]\n");
+        "                 [--sweep] [--jobs N] [--nodes N,M]\n"
+        "                 [--vf V[:F],...]\n");
 }
 
 Options
@@ -92,13 +109,28 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--workload") {
             opt.workload = need_value("--workload");
         } else if (arg == "--scale") {
-            opt.scale = static_cast<unsigned>(
-                parseLong(need_value("--scale"), "--scale"));
+            // Reject negatives outright: a silent unsigned cast would
+            // turn "--scale -1" into a ~4.3-billion-x problem size.
+            opt.scale = parseUnsigned(need_value("--scale"), "--scale",
+                                      1, 1u << 20);
+        } else if (arg == "--vdd-scale") {
+            opt.vdd_scale = parseDouble(need_value("--vdd-scale"),
+                                        "--vdd-scale");
+            opt.vdd_scale_set = true;
+        } else if (arg == "--freq-scale") {
+            opt.freq_scale = parseDouble(need_value("--freq-scale"),
+                                         "--freq-scale");
+            opt.freq_scale_set = true;
         } else if (arg == "--trace") {
             opt.trace_file = need_value("--trace");
         } else if (arg == "--sample-us") {
             opt.sample_us =
                 parseDouble(need_value("--sample-us"), "--sample-us");
+            opt.sample_us_set = true;
+            if (opt.sample_us <= 0.0)
+                fatal("--sample-us must be > 0 (got ", opt.sample_us,
+                      "); a non-positive period would record an empty "
+                      "waveform");
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--static-only") {
@@ -110,10 +142,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--sweep") {
             opt.sweep = true;
         } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(
-                parseLong(need_value("--jobs"), "--jobs"));
+            // 0 means "all hardware threads"; negatives must not wrap
+            // into billions of workers.
+            opt.jobs = parseUnsigned(need_value("--jobs"), "--jobs", 0,
+                                     max_jobs);
         } else if (arg == "--nodes") {
             opt.nodes = need_value("--nodes");
+        } else if (arg == "--vf") {
+            opt.vf = need_value("--vf");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -156,12 +192,17 @@ runSweep(const Options &opt)
     // the combination instead of silently ignoring the flag.
     if (!opt.trace_file.empty())
         fatal("--trace is not supported with --sweep");
+    if (opt.sample_us_set)
+        fatal("--sample-us is not supported with --sweep");
     if (opt.stats)
         fatal("--stats is not supported with --sweep");
     if (opt.static_only)
         fatal("--static-only is not supported with --sweep");
     if (opt.dump_config)
         fatal("--dump-config is not supported with --sweep");
+    if (opt.vdd_scale_set || opt.freq_scale_set)
+        fatal("--vdd-scale/--freq-scale apply to single runs; use "
+              "--vf V[:F],... to sweep operating points");
 
     sim::SweepSpec spec;
     // Stray commas ("a,b," or "a,,b") produce empty entries; drop
@@ -187,7 +228,10 @@ runSweep(const Options &opt)
     if (!opt.nodes.empty())
         for (const std::string &node : non_empty(opt.nodes))
             spec.tech_nodes.push_back(
-                static_cast<unsigned>(parseLong(node, "--nodes")));
+                parseUnsigned(node, "--nodes", tech::min_node_nm,
+                              tech::max_node_nm));
+    if (!opt.vf.empty())
+        spec.operating_points = OperatingPoint::parseList(opt.vf);
     spec.scale = opt.scale;
 
     // An empty axis would "pass" with zero scenarios; treat it as the
@@ -200,6 +244,9 @@ runSweep(const Options &opt)
               opt.workload, "')");
     if (!opt.nodes.empty() && spec.tech_nodes.empty())
         fatal("--sweep: no process nodes given (--nodes '", opt.nodes,
+              "')");
+    if (!opt.vf.empty() && spec.operating_points.empty())
+        fatal("--sweep: no operating points given (--vf '", opt.vf,
               "')");
 
     sim::EngineOptions eopt;
@@ -215,6 +262,9 @@ runSweep(const Options &opt)
                 spec.configs.size(), spec.workloads.size());
     if (!spec.tech_nodes.empty())
         std::printf(" x %zu nodes", spec.tech_nodes.size());
+    if (!spec.operating_points.empty())
+        std::printf(" x %zu operating points",
+                    spec.operating_points.size());
     std::printf(" = %zu scenarios on %u worker(s)\n\n", spec.size(),
                 engine.jobs());
 
@@ -241,6 +291,9 @@ runTool(const Options &opt)
         fatal("--jobs requires --sweep");
     if (!opt.nodes.empty())
         fatal("--nodes requires --sweep");
+    if (!opt.vf.empty())
+        fatal("--vf requires --sweep; use --vdd-scale/--freq-scale "
+              "for a single run");
 
     if (opt.list) {
         std::printf("available workloads:\n");
@@ -253,6 +306,10 @@ runTool(const Options &opt)
     }
 
     GpuConfig cfg = resolveConfig(opt);
+    if (opt.vdd_scale_set || opt.freq_scale_set) {
+        OperatingPoint op{opt.vdd_scale, opt.freq_scale};
+        op.applyTo(cfg); // validates the ranges
+    }
     if (opt.dump_config) {
         std::fputs(cfg.toXml().c_str(), stdout);
         return 0;
@@ -279,8 +336,14 @@ runTool(const Options &opt)
         trace_out << "kernel,t0_s,t1_s,dynamic_w,static_w,dram_w\n";
     }
 
-    std::printf("%s on %s (%u cores, %u nm)\n\n", opt.workload.c_str(),
+    std::printf("%s on %s (%u cores, %u nm", opt.workload.c_str(),
                 cfg.name.c_str(), cfg.numCores(), cfg.tech.node_nm);
+    if (!cfg.operatingPoint().isIdentity())
+        std::printf(", %s: %.3f V, %.0f MHz shader",
+                    cfg.operatingPoint().label().c_str(),
+                    sim.powerModel().techNode().vdd,
+                    cfg.clocks.shaderHz() / 1e6);
+    std::printf(")\n\n");
 
     double total_energy_j = 0.0;
     double total_time_s = 0.0;

@@ -10,6 +10,12 @@ Simulator::Simulator(const GpuConfig &cfg) : _cfg(cfg)
     _power = std::make_unique<power::GpuPowerModel>(_cfg);
 }
 
+void
+Simulator::recycle()
+{
+    _gpu->resetDeviceState();
+}
+
 KernelRun
 Simulator::runKernel(const perf::KernelProgram &prog,
                      const perf::LaunchConfig &launch, bool with_trace,

@@ -77,6 +77,13 @@ class Simulator
                         bool with_trace = false,
                         double sample_interval_s = 20e-6);
 
+    /**
+     * Reset device-visible state so the next workload runs exactly as
+     * it would on a freshly constructed Simulator, without rebuilding
+     * the (expensive) power model. Only legal between kernels.
+     */
+    void recycle();
+
   private:
     GpuConfig _cfg;
     std::unique_ptr<perf::Gpu> _gpu;

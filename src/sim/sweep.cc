@@ -11,7 +11,9 @@ std::size_t
 SweepSpec::size() const
 {
     std::size_t nodes = tech_nodes.empty() ? 1 : tech_nodes.size();
-    return configs.size() * nodes * workloads.size();
+    std::size_t ops =
+        operating_points.empty() ? 1 : operating_points.size();
+    return configs.size() * nodes * ops * workloads.size();
 }
 
 std::vector<Scenario>
@@ -19,27 +21,45 @@ SweepSpec::expand() const
 {
     std::vector<Scenario> scenarios;
     scenarios.reserve(size());
+    // An explicit operating-point axis labels every point (identity
+    // included); the implicit single pass keeps pre-axis labels.
+    bool label_ops = !operating_points.empty();
+    std::vector<OperatingPoint> ops = operating_points;
+    if (ops.empty())
+        ops.push_back(OperatingPoint{});
     for (const GpuConfig &base : configs) {
         // One pass per requested node; node 0 means "as configured".
         std::vector<unsigned> nodes = tech_nodes;
         if (nodes.empty())
             nodes.push_back(0);
         for (unsigned node : nodes) {
-            GpuConfig cfg = base;
+            GpuConfig node_cfg = base;
             if (node != 0) {
-                cfg.tech.node_nm = node;
-                cfg.tech.vdd = -1.0; // node-nominal supply
+                node_cfg.tech.node_nm = node;
+                node_cfg.tech.vdd = -1.0; // node-nominal supply
             }
-            for (const std::string &wl : workloads) {
-                Scenario s;
-                s.index = scenarios.size();
-                s.config = cfg;
-                s.workload = wl;
-                s.scale = scale;
-                s.verify = verify;
-                s.label = cfg.name + "/" +
-                          std::to_string(cfg.tech.node_nm) + "nm/" + wl;
-                scenarios.push_back(std::move(s));
+            for (const OperatingPoint &op : ops) {
+                GpuConfig cfg = node_cfg;
+                // An empty axis means "each config's own operating
+                // point": leave whatever scales the base config
+                // carries untouched.
+                if (label_ops)
+                    op.applyTo(cfg);
+                std::string prefix =
+                    cfg.name + "/" +
+                    std::to_string(cfg.tech.node_nm) + "nm/" +
+                    (label_ops ? op.label() + "/" : "");
+                for (const std::string &wl : workloads) {
+                    Scenario s;
+                    s.index = scenarios.size();
+                    s.config = cfg;
+                    s.op = cfg.operatingPoint();
+                    s.workload = wl;
+                    s.scale = scale;
+                    s.verify = verify;
+                    s.label = prefix + wl;
+                    scenarios.push_back(std::move(s));
+                }
             }
         }
     }
@@ -96,16 +116,18 @@ SweepResult::formatTable() const
     std::string out;
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-40s %9s %10s %10s %11s %12s %6s\n", "scenario",
-                  "kernels", "time[us]", "power[W]", "energy[mJ]",
-                  "EDP[uJ*s]", "verify");
+                  "%-40s %9s %9s %10s %10s %11s %12s %6s\n",
+                  "scenario", "kernels", "clk[MHz]", "time[us]",
+                  "power[W]", "energy[mJ]", "EDP[uJ*s]", "verify");
     out += line;
     for (const ScenarioResult &r : _rows) {
         std::snprintf(line, sizeof(line),
-                      "%-40s %9zu %10.1f %10.2f %11.3f %12.4f %6s\n",
+                      "%-40s %9zu %9.0f %10.1f %10.2f %11.3f %12.4f "
+                      "%6s\n",
                       r.scenario.label.c_str(), r.kernels.size(),
-                      r.time_s * 1e6, r.avg_power_w, r.energy_j * 1e3,
-                      r.edp() * 1e9, r.verified ? "PASS" : "FAIL");
+                      r.shader_hz / 1e6, r.time_s * 1e6,
+                      r.avg_power_w, r.energy_j * 1e3, r.edp() * 1e9,
+                      r.verified ? "PASS" : "FAIL");
         out += line;
     }
     return out;

@@ -29,8 +29,11 @@ struct Scenario
 {
     /** Position in the sweep's deterministic expansion order. */
     std::size_t index = 0;
-    /** Configuration to simulate (process node already applied). */
+    /** Configuration to simulate (process node and DVFS operating
+     *  point already applied). */
     GpuConfig config;
+    /** DVFS operating point this scenario runs at. */
+    OperatingPoint op;
     /** Table I workload name ("matmul", "blackscholes", ...). */
     std::string workload;
     /** Problem-size multiplier. */
@@ -43,9 +46,10 @@ struct Scenario
 
 /**
  * Declarative description of a batch experiment: every config is
- * evaluated at every process node with every workload. Expansion
- * order is config-major, then node, then workload, so adding a
- * workload never reorders existing scenarios.
+ * evaluated at every process node, every DVFS operating point, and
+ * every workload. Expansion order is config-major, then node, then
+ * operating point, then workload, so adding a workload never reorders
+ * existing scenarios.
  */
 struct SweepSpec
 {
@@ -59,6 +63,14 @@ struct SweepSpec
      * node (one pass per config).
      */
     std::vector<unsigned> tech_nodes;
+    /**
+     * DVFS operating points swept for every (config, node) pair.
+     * Empty = one pass at each config's own operating point, with
+     * labels and expansion order identical to a spec without the
+     * axis. When present, every point (including the identity) gets
+     * its own label segment.
+     */
+    std::vector<OperatingPoint> operating_points;
     /** Problem-size multiplier forwarded to every workload. */
     unsigned scale = 1;
     /** Run each workload's device-vs-host verification afterwards. */
@@ -99,6 +111,8 @@ struct ScenarioResult
     double area_mm2 = 0.0;
     /** Core supply voltage the power model resolved and used, V. */
     double vdd = 0.0;
+    /** Effective shader clock the scenario ran at, Hz. */
+    double shader_hz = 0.0;
     /** Result of the workload's verification (true when skipped). */
     bool verified = false;
 

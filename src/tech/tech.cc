@@ -104,16 +104,21 @@ TechNode::sramCellArea() const
 }
 
 TechNode
-TechNode::make(unsigned node_nm, double vdd, double temperature)
+TechNode::make(unsigned node_nm, double vdd, double temperature,
+               double vdd_scale)
 {
-    if (node_nm < 20 || node_nm > 90)
+    if (node_nm < min_node_nm || node_nm > max_node_nm)
         fatal("unsupported technology node ", node_nm,
-              " nm (supported: 28..65 nm)");
+              " nm (supported: ", min_node_nm, "..", max_node_nm,
+              " nm, clamped to the 28..65 nm table endpoints)");
+    if (vdd_scale <= 0.0)
+        fatal("vdd_scale must be positive, got ", vdd_scale);
     NodeRow row = interpolate(static_cast<double>(node_nm));
 
     TechNode t;
     t.feature_m = node_nm * 1e-9;
-    t.vdd = vdd > 0.0 ? vdd : row.vdd_nominal;
+    t.vdd_base = vdd > 0.0 ? vdd : row.vdd_nominal;
+    t.vdd = t.vdd_base * vdd_scale;
     t.temperature = temperature;
 
     t.hp.c_gate_per_um = row.hp_c_gate * 1e-15;  // fF/um -> F/um
@@ -125,6 +130,19 @@ TechNode::make(unsigned node_nm, double vdd, double temperature)
     t.lstp.c_diff_per_um = t.hp.c_diff_per_um * 1.1;
     t.lstp.i_sub_per_um = row.lstp_i_sub * 1e-9;
     t.lstp.i_gate_per_um = t.hp.i_gate_per_um * 0.01;
+
+    // Re-derive the supply-dependent leakage densities at the DVFS
+    // point: subthreshold current rises exponentially with supply
+    // through DIBL, gate tunneling roughly with V^3. Guarded so the
+    // identity point stays bit-exact with the characterization data.
+    if (vdd_scale != 1.0) {
+        double sub_f = std::exp((t.vdd - t.vdd_base) / vdd_dibl_v);
+        double gate_f = vdd_scale * vdd_scale * vdd_scale;
+        t.hp.i_sub_per_um *= sub_f;
+        t.lstp.i_sub_per_um *= sub_f;
+        t.hp.i_gate_per_um *= gate_f;
+        t.lstp.i_gate_per_um *= gate_f;
+    }
 
     // Wire parameters for the intermediate/semi-global layer; pitch
     // and per-length RC scale with the node per ITRS trends.

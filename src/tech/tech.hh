@@ -43,8 +43,10 @@ struct TechNode
 {
     /** Feature size in meters. */
     double feature_m;
-    /** Nominal supply voltage, V. */
+    /** Effective supply voltage (DVFS scale applied), V. */
     double vdd;
+    /** Supply the node was characterized at (before DVFS scaling), V. */
+    double vdd_base;
     /** Junction temperature, K (affects subthreshold leakage). */
     double temperature;
 
@@ -82,13 +84,33 @@ struct TechNode
 
     /**
      * Build a node description.
+     *
+     * When vdd_scale != 1 the supply-dependent quantities are
+     * re-derived at V = vdd_base * vdd_scale: switching energy follows
+     * C*V^2 through the effective vdd, subthreshold leakage current
+     * follows the DIBL exponential exp((V - vdd_base) / V_DIBL), and
+     * gate (tunneling) leakage current follows (V / vdd_base)^3. The
+     * identity scale 1.0 is bit-exact against the unscaled node.
+     *
      * @param node_nm feature size in nanometers (28..65 supported)
      * @param vdd supply voltage; <= 0 selects the node's nominal Vdd
      * @param temperature junction temperature in K
+     * @param vdd_scale DVFS supply scale against the resolved vdd
      */
     static TechNode make(unsigned node_nm, double vdd = -1.0,
-                         double temperature = 350.0);
+                         double temperature = 350.0,
+                         double vdd_scale = 1.0);
 };
+
+/** DIBL voltage of the subthreshold-leakage model: i_sub grows by e
+ *  per this much extra supply (~every 100 mV, the usual ~1 decade per
+ *  230 mV DIBL+body-effect trend line). */
+constexpr double vdd_dibl_v = 0.1;
+
+/** Accepted node_nm range of TechNode::make (values outside the
+ *  built-in 28..65 nm table clamp to its endpoints). */
+constexpr unsigned min_node_nm = 20;
+constexpr unsigned max_node_nm = 90;
 
 } // namespace tech
 } // namespace gpusimpow

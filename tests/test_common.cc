@@ -49,6 +49,26 @@ TEST(StrUtil, ParseLongRejectsGarbage)
 {
     EXPECT_THROW(parseLong("12abc", "t"), FatalError);
     EXPECT_THROW(parseLong("", "t"), FatalError);
+    // Overflow must be a hard error, not a silent clamp to LONG_MAX.
+    EXPECT_THROW(parseLong("99999999999999999999999", "t"), FatalError);
+}
+
+TEST(StrUtil, ParseUnsignedRejectsNegativesInsteadOfWrapping)
+{
+    // The CLI bug class this guards: "--jobs -1" must not become
+    // 4294967295 workers through an unsigned cast.
+    EXPECT_EQ(parseUnsigned("42", "t"), 42u);
+    EXPECT_EQ(parseUnsigned("0", "t"), 0u);
+    EXPECT_THROW(parseUnsigned("-1", "t"), FatalError);
+    EXPECT_THROW(parseUnsigned("-2147483648", "t"), FatalError);
+    EXPECT_THROW(parseUnsigned("abc", "t"), FatalError);
+}
+
+TEST(StrUtil, ParseUnsignedEnforcesRange)
+{
+    EXPECT_EQ(parseUnsigned("8", "t", 1, 16), 8u);
+    EXPECT_THROW(parseUnsigned("0", "t", 1, 16), FatalError);
+    EXPECT_THROW(parseUnsigned("17", "t", 1, 16), FatalError);
 }
 
 TEST(StrUtil, ParseDoubleAndBool)

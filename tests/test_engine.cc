@@ -247,6 +247,93 @@ TEST(SweepResult, SetIsThreadSafeAndSlotsStayOrdered)
     }
 }
 
+TEST(Engine, SimulatorReuseIsBitIdenticalToRebuildPerScenario)
+{
+    // Workload-only sweep: every scenario shares one fingerprint, so
+    // the reuse path recycles one Simulator per worker. Results must
+    // be indistinguishable from rebuilding per scenario.
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"vectoradd", "matmul", "blackscholes",
+                      "scalarprod"};
+
+    EngineOptions reuse_opt;
+    reuse_opt.jobs = 2;
+    reuse_opt.reuse_simulators = true;
+    EngineOptions rebuild_opt = reuse_opt;
+    rebuild_opt.reuse_simulators = false;
+
+    SweepResult reused = SimulationEngine(reuse_opt).run(spec);
+    SweepResult rebuilt = SimulationEngine(rebuild_opt).run(spec);
+    ASSERT_EQ(reused.size(), rebuilt.size());
+    for (std::size_t i = 0; i < reused.size(); ++i) {
+        const ScenarioResult &a = reused.at(i);
+        const ScenarioResult &b = rebuilt.at(i);
+        EXPECT_EQ(a.time_s, b.time_s) << a.scenario.label;
+        EXPECT_EQ(a.energy_j, b.energy_j) << a.scenario.label;
+        EXPECT_EQ(a.avg_power_w, b.avg_power_w) << a.scenario.label;
+        EXPECT_EQ(a.static_w, b.static_w) << a.scenario.label;
+        EXPECT_TRUE(a.verified) << a.scenario.label;
+        EXPECT_TRUE(b.verified) << b.scenario.label;
+    }
+}
+
+TEST(Engine, ReuseRecoversAfterAFailedScenario)
+{
+    // The failing scenario sits between two good ones that share its
+    // fingerprint; the worker must drop its cached Simulator on the
+    // error and still produce a bit-identical result for the scenario
+    // after the failure. run() rethrows and discards its table, so
+    // the post-failure result is captured through the progress hook.
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.workloads = {"vectoradd", "no-such-workload", "matmul"};
+
+    std::vector<ScenarioResult> completed;
+    EngineOptions opt;
+    opt.jobs = 1; // one worker sees all three in order
+    opt.reuse_simulators = true;
+    opt.progress = [&](const ScenarioResult &r, std::size_t,
+                       std::size_t) { completed.push_back(r); };
+    EXPECT_THROW(SimulationEngine(opt).run(spec), FatalError);
+
+    ASSERT_EQ(completed.size(), 2u);
+    Scenario matmul = spec.expand()[2];
+    ScenarioResult fresh = SimulationEngine().runScenario(matmul);
+    EXPECT_EQ(completed[1].scenario.label, matmul.label);
+    EXPECT_EQ(completed[1].time_s, fresh.time_s);
+    EXPECT_EQ(completed[1].energy_j, fresh.energy_j);
+    EXPECT_TRUE(completed[1].verified);
+}
+
+TEST(Engine, RecycleCleansADirtiedSimulator)
+{
+    // Recycling must erase every trace of previous device activity —
+    // including junk a misbehaving workload left in global memory —
+    // so a recycled Simulator is indistinguishable from a fresh one.
+    Scenario scenario;
+    scenario.config = GpuConfig::gt240();
+    scenario.workload = "matmul";
+
+    SimulationEngine engine;
+    ScenarioResult fresh = engine.runScenario(scenario);
+
+    Simulator sim(scenario.config);
+    ScenarioResult first = engine.runScenario(scenario, sim);
+    EXPECT_EQ(first.energy_j, fresh.energy_j);
+    // Dirty the device: junk data and a bumped allocator cursor.
+    std::vector<uint32_t> junk(4096, 0xdeadbeefu);
+    sim.gpu().allocator().alloc(1 << 20);
+    sim.gpu().memcpyToDevice(0x2000, junk.data(),
+                             junk.size() * sizeof(junk[0]));
+    sim.recycle();
+    ScenarioResult again = engine.runScenario(scenario, sim);
+    EXPECT_EQ(again.time_s, fresh.time_s);
+    EXPECT_EQ(again.energy_j, fresh.energy_j);
+    EXPECT_EQ(again.avg_power_w, fresh.avg_power_w);
+    EXPECT_TRUE(again.verified);
+}
+
 TEST(SweepResult, FormatTableListsRowsInExpansionOrder)
 {
     SweepSpec spec;
