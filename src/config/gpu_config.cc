@@ -243,6 +243,23 @@ describe(GpuConfig &cfg, ParamIo &io)
         io.param("temperature", cfg.tech.temperature);
     });
 
+    io.section("thermal", [&] {
+        auto &t = cfg.thermal;
+        io.param("enabled", t.enabled);
+        io.param("throttle", t.throttle);
+        io.param("cooling", t.cooling);
+        io.param("ambient_k", t.ambient_k);
+        io.param("t_limit_k", t.t_limit_k);
+        io.param("r_heatsink_k_per_w", t.r_heatsink_k_per_w);
+        io.param("cooling_scale", t.cooling_scale);
+        io.param("c_heatsink_j_per_k", t.c_heatsink_j_per_k);
+        io.param("r_die_k_mm2_per_w", t.r_die_k_mm2_per_w);
+        io.param("c_die_j_per_k_mm2", t.c_die_j_per_k_mm2);
+        io.param("r_lateral_k_per_w", t.r_lateral_k_per_w);
+        io.param("r_dram_k_per_w", t.r_dram_k_per_w);
+        io.param("c_dram_j_per_k", t.c_dram_j_per_k);
+    });
+
     io.section("power_calib", [&] {
         auto &p = cfg.calib;
         io.param("int_op_pj", p.int_op_pj);
@@ -282,10 +299,63 @@ validate(const GpuConfig &cfg)
     if (cfg.core.sched_policy != "rr" && cfg.core.sched_policy != "gto")
         fatal("unknown sched_policy '", cfg.core.sched_policy,
               "' (expected rr or gto)");
+    // A non-physical junction temperature would silently feed
+    // pow(2, dT/20) garbage into every leakage number.
+    if (!(cfg.tech.temperature > 0.0 && cfg.tech.temperature <= 500.0))
+        fatal("tech temperature ", cfg.tech.temperature,
+              " K out of range (0, 500]");
+    const auto &th = cfg.thermal;
+    if (!(th.ambient_k > 200.0 && th.ambient_k < 400.0))
+        fatal("thermal ambient_k ", th.ambient_k,
+              " K out of range (200, 400)");
+    if (!(th.t_limit_k > th.ambient_k && th.t_limit_k <= 500.0))
+        fatal("thermal t_limit_k ", th.t_limit_k,
+              " K must lie in (ambient_k, 500]");
+    if (th.cooling_scale <= 0.0)
+        fatal("thermal cooling_scale must be positive, got ",
+              th.cooling_scale);
+    if (th.r_die_k_mm2_per_w <= 0.0 || th.r_lateral_k_per_w <= 0.0 ||
+        th.r_dram_k_per_w <= 0.0)
+        fatal("thermal resistances must be positive");
+    if (th.c_heatsink_j_per_k <= 0.0 || th.c_die_j_per_k_mm2 <= 0.0 ||
+        th.c_dram_j_per_k <= 0.0)
+        fatal("thermal capacitances must be positive");
+    if (th.throttle && !th.enabled)
+        fatal("thermal throttling requires the thermal subsystem "
+              "(thermal enabled)");
     cfg.operatingPoint().validate();
 }
 
 } // namespace
+
+void
+ThermalConfig::applyCooling(const std::string &name)
+{
+    // Presets scale the auto-sized stock cooler: a constrained
+    // (cheap, passive-ish) solution resists more and stores less; a
+    // liquid loop resists less and stores much more.
+    if (name == "stock") {
+        cooling_scale = 1.0;
+        c_heatsink_j_per_k = 150.0;
+    } else if (name == "constrained") {
+        cooling_scale = 1.2;
+        c_heatsink_j_per_k = 60.0;
+    } else if (name == "liquid") {
+        cooling_scale = 0.4;
+        c_heatsink_j_per_k = 800.0;
+    } else {
+        fatal("unknown cooling preset '", name,
+              "' (expected stock, constrained, or liquid)");
+    }
+    cooling = name;
+    enabled = true;
+}
+
+std::vector<std::string>
+ThermalConfig::coolingPresets()
+{
+    return {"stock", "constrained", "liquid"};
+}
 
 std::string
 OperatingPoint::label() const

@@ -279,8 +279,59 @@ struct TechConfig
     double vdd = 1.05;
     /** DVFS scale applied to the resolved core supply. */
     double vdd_scale = 1.0;
-    /** Junction temperature in Kelvin used for leakage. */
+    /** Nominal junction temperature in Kelvin used for leakage when
+     *  the closed-loop thermal solve is disabled. */
     double temperature = 350.0;
+};
+
+/**
+ * Closed-loop thermal subsystem configuration (src/thermal/): the RC
+ * network's cooling solution, the ambient boundary, and the DVFS
+ * thermal-throttling policy. Disabled by default, which keeps the
+ * junction temperature at the static TechConfig constant and every
+ * golden anchor bit-exact.
+ */
+struct ThermalConfig
+{
+    /** Run the thermal solvers (temperature becomes an output). */
+    bool enabled = false;
+    /** Clamp freq_scale when a block exceeds t_limit_k. */
+    bool throttle = false;
+    /** Cooling preset label ("stock", "constrained", "liquid"). */
+    std::string cooling = "stock";
+    /** Ambient (case air) temperature at the card inlet, K. */
+    double ambient_k = 318.0;
+    /** Junction temperature limit for the throttling policy, K
+     *  (85 C, a typical GPU throttle point). */
+    double t_limit_k = 358.0;
+    /** Heatsink-to-ambient resistance, K/W; <= 0 auto-sizes the
+     *  cooler to the die area (stock law x cooling_scale). */
+    double r_heatsink_k_per_w = 0.0;
+    /** Multiplier on the auto-sized heatsink resistance; the cooling
+     *  preset's knob (cheap cooler > 1, premium < 1). */
+    double cooling_scale = 1.0;
+    /** Heatsink (fins + heatpipes) heat capacity, J/K. */
+    double c_heatsink_j_per_k = 150.0;
+    /** Area-specific junction-to-heatsink resistance, K*mm^2/W. */
+    double r_die_k_mm2_per_w = 8.0;
+    /** Die + package heat capacity per area, J/(K*mm^2). */
+    double c_die_j_per_k_mm2 = 2e-3;
+    /** Lateral spreading resistance between die neighbors, K/W. */
+    double r_lateral_k_per_w = 4.0;
+    /** DRAM-devices-to-ambient resistance, K/W (board path). */
+    double r_dram_k_per_w = 5.0;
+    /** DRAM devices + board copper heat capacity, J/K. */
+    double c_dram_j_per_k = 3.0;
+
+    /**
+     * Apply a named cooling preset (sets cooling, cooling_scale, and
+     * the heatsink capacity) and enable the subsystem; fatal() on an
+     * unknown name.
+     */
+    void applyCooling(const std::string &name);
+
+    /** Names applyCooling() accepts. */
+    static std::vector<std::string> coolingPresets();
 };
 
 /**
@@ -334,6 +385,7 @@ struct GpuConfig
     DramConfig dram;
     PcieConfig pcie;
     TechConfig tech;
+    ThermalConfig thermal;
     PowerCalibConfig calib;
 
     /** Total SIMT cores on the chip. */

@@ -56,6 +56,16 @@ Gpu::resetDeviceState()
     _cluster_busy.assign(_cfg.clusters, 0);
 }
 
+void
+Gpu::setFreqScale(double freq_scale)
+{
+    GSP_ASSERT(freq_scale > 0.0, "freq_scale must be positive");
+    for (const auto &core : _cores)
+        GSP_ASSERT(!core->busy(), "setFreqScale with a busy core");
+    _cfg.clocks.freq_scale = freq_scale;
+    _memsys.setClocks(_cfg.clocks);
+}
+
 int
 Gpu::pickCoreForBlock() const
 {

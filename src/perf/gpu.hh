@@ -88,6 +88,14 @@ class Gpu
     /** The configuration this GPU was built from. */
     const GpuConfig &config() const { return _cfg; }
 
+    /**
+     * Retarget the core clock domain (shader + uncore) to a new DVFS
+     * frequency scale without losing device state — the hook the
+     * thermal throttling governor clamps through. Only legal between
+     * kernels.
+     */
+    void setFreqScale(double freq_scale);
+
   private:
     GpuConfig _cfg;
     GlobalMemory _gmem;

@@ -34,6 +34,14 @@ MemorySystem::MemorySystem(const GpuConfig &cfg) : _cfg(cfg)
         _channels.emplace_back(cfg.dram);
 }
 
+void
+MemorySystem::setClocks(const ClockConfig &clocks)
+{
+    _cfg.clocks = clocks;
+    _uncore_per_shader = 1.0 / clocks.shader_to_uncore;
+    _dram_per_uncore = clocks.dram_hz / clocks.uncoreHz();
+}
+
 uint64_t
 MemorySystem::toUncore(uint64_t shader_cycle) const
 {

@@ -43,6 +43,14 @@ class MemorySystem
     /** Invalidate L2 state between kernels. */
     void flushCaches();
 
+    /**
+     * Re-derive the cached clock-domain ratios after a core-clock
+     * change (DVFS thermal throttling). The DRAM clock is its own
+     * domain, so only the DRAM-per-uncore ratio moves. Only legal
+     * between kernels.
+     */
+    void setClocks(const ClockConfig &clocks);
+
     /** DRAM power-model activity for an interval ending now. */
     dram::DramActivity dramActivity(double elapsed_s) const;
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "circuit/array.hh"
 #include "circuit/interconnect.hh"
 #include "common/logging.hh"
+#include "tech/tech.hh"
 
 namespace gpusimpow {
 namespace power {
@@ -253,6 +255,151 @@ GpuPowerModel::evaluate(const perf::ChipActivity &act) const
     da.row_open_frac = std::min(1.0, 4.0 * util);
     rep.dram_w = _dram_power->compute(da).total();
 
+    return rep;
+}
+
+double
+GpuPowerModel::subLeakScaleAt(double temp_k) const
+{
+    return tech::tempLeakFactorAt(temp_k) /
+           tech::tempLeakFactorAt(_t.temperature);
+}
+
+thermal::BlockSet
+GpuPowerModel::thermalBlocks() const
+{
+    thermal::BlockSet set;
+    set.num_clusters = _cfg.clusters;
+    set.has_l2 = _cfg.l2.present;
+    // Physical core footprint: the analytic components plus the
+    // undifferentiated residual; the shared L2 gets its own block,
+    // so the per-core L2 share folded into the report is excluded.
+    double core_area = _core_model->totals().area_mm2 +
+                       _cfg.calib.undiff_core_area_mm2;
+    for (unsigned c = 0; c < _cfg.clusters; ++c) {
+        set.names.push_back("cluster" + std::to_string(c));
+        set.area_mm2.push_back(core_area * _cfg.cores_per_cluster);
+    }
+    if (set.has_l2) {
+        set.names.push_back("l2");
+        set.area_mm2.push_back(_l2.area_mm2);
+    }
+    set.names.push_back("uncore");
+    set.area_mm2.push_back(_noc.area_mm2 + _mc.area_mm2 +
+                           _pcie.area_mm2);
+    set.names.push_back("dram");
+    set.area_mm2.push_back(0.0); // off-package, board-level
+    return set;
+}
+
+std::vector<BlockPower>
+GpuPowerModel::blockPowers(const PowerReport &rep,
+                           const perf::ChipActivity &act) const
+{
+    thermal::BlockSet set = thermalBlocks();
+    std::vector<BlockPower> bp(set.size());
+    double elapsed = rep.elapsed_s > 0.0 ? rep.elapsed_s : 1.0;
+    double cycles = act.shader_cycles > 0
+                        ? static_cast<double>(act.shader_cycles)
+                        : 1.0;
+    unsigned n_cores = _cfg.numCores();
+
+    // The per-core L2 share folded into each LDSTU (statics and the
+    // access energy) moves back out into the dedicated L2 block.
+    double l2_sub_share = 0.0, l2_gate_share = 0.0, l2_dyn_share = 0.0;
+    if (_cfg.l2.present) {
+        l2_sub_share = _l2.sub_leakage_w / n_cores;
+        l2_gate_share = _l2.gate_leakage_w / n_cores;
+        l2_dyn_share = (act.mem.l2_reads + act.mem.l2_writes) *
+                       _l2_access_energy_j / elapsed / n_cores;
+    }
+
+    for (unsigned i = 0; i < n_cores; ++i) {
+        const PowerNode *core =
+            rep.gpu.find("Cores/Core" + std::to_string(i));
+        GSP_ASSERT(core, "report misses Core", i);
+        BlockPower &cluster = bp[i / _cfg.cores_per_cluster];
+        cluster.dynamic_w += core->totalDynamic() - l2_dyn_share;
+        cluster.sub_leak_w += core->totalSubLeakage() - l2_sub_share;
+        cluster.fixed_w += core->totalGateLeakage() - l2_gate_share;
+    }
+    if (_cfg.l2.present) {
+        BlockPower &l2 = bp[set.l2Index()];
+        l2.dynamic_w = l2_dyn_share * n_cores;
+        l2.sub_leak_w = l2_sub_share * n_cores;
+        l2.fixed_w = l2_gate_share * n_cores;
+    }
+
+    // Cluster activation power lands in the cluster that earned it
+    // (same formula evaluate() aggregates into the Cluster Base
+    // node); the global work-distribution engine sits mid-die with
+    // the uncore controllers.
+    for (std::size_t c = 0; c < act.cluster_busy_cycles.size(); ++c) {
+        double busy =
+            static_cast<double>(act.cluster_busy_cycles[c]);
+        bp[std::min<std::size_t>(c, _cfg.clusters - 1)].dynamic_w +=
+            _cfg.calib.cluster_base_w * _base_power_scale *
+            std::min(1.0, busy / cycles);
+    }
+    BlockPower &uncore = bp[set.uncoreIndex()];
+    if (const PowerNode *sched = rep.gpu.find("Cores/Global Scheduler"))
+        uncore.dynamic_w += sched->totalDynamic();
+    for (const char *name :
+         {"NoC", "Memory Controller", "PCIe Controller"}) {
+        const PowerNode *node = rep.gpu.find(name);
+        GSP_ASSERT(node, "report misses ", name);
+        uncore.dynamic_w += node->totalDynamic();
+        uncore.sub_leak_w += node->totalSubLeakage();
+        uncore.fixed_w += node->totalGateLeakage();
+    }
+
+    // The external DRAM runs from its own supply and clock: neither
+    // core-clock throttling nor die temperature moves it.
+    bp[set.dramIndex()].fixed_w = rep.dram_w;
+    return bp;
+}
+
+PowerReport
+GpuPowerModel::evaluateAt(const perf::ChipActivity &act,
+                          const std::vector<double> &block_temps_k)
+    const
+{
+    PowerReport rep = evaluate(act);
+    if (block_temps_k.empty())
+        return rep;
+    thermal::BlockSet set = thermalBlocks();
+    GSP_ASSERT(block_temps_k.size() == set.size(),
+               "temperature vector does not match block set");
+    double r_uncore = subLeakScaleAt(block_temps_k[set.uncoreIndex()]);
+    double l2_sub_share =
+        _cfg.l2.present ? _l2.sub_leakage_w / _cfg.numCores() : 0.0;
+
+    for (PowerNode &top : rep.gpu.children) {
+        if (top.name == "Cores") {
+            for (PowerNode &child : top.children) {
+                if (child.name.rfind("Core", 0) != 0 ||
+                    child.name.size() <= 4)
+                    continue; // Cluster Base / Global Scheduler
+                unsigned i = static_cast<unsigned>(
+                    std::stoul(child.name.substr(4)));
+                double r_cl = subLeakScaleAt(
+                    block_temps_k[i / _cfg.cores_per_cluster]);
+                child.scaleSubLeakage(r_cl);
+                if (_cfg.l2.present) {
+                    // The folded L2 share follows the L2 block, not
+                    // the cluster it is reported under.
+                    double r_l2 = subLeakScaleAt(
+                        block_temps_k[set.l2Index()]);
+                    for (PowerNode &part : child.children)
+                        if (part.name == "LDSTU")
+                            part.sub_leakage_w +=
+                                l2_sub_share * (r_l2 - r_cl);
+                }
+            }
+        } else {
+            top.scaleSubLeakage(r_uncore);
+        }
+    }
     return rep;
 }
 

@@ -18,9 +18,26 @@
 #include "perf/activity.hh"
 #include "power/core_power.hh"
 #include "power/report.hh"
+#include "thermal/thermal.hh"
 
 namespace gpusimpow {
 namespace power {
+
+/**
+ * One thermal block's power split by how it responds to the two
+ * feedback knobs: dynamic_w scales with the core clock (throttling),
+ * sub_leak_w scales with tempLeakFactor (junction temperature), and
+ * fixed_w does neither (gate leakage; the off-chip DRAM power, which
+ * runs from its own supply and clock).
+ */
+struct BlockPower
+{
+    double dynamic_w = 0.0;
+    double sub_leak_w = 0.0;
+    double fixed_w = 0.0;
+
+    double total() const { return dynamic_w + sub_leak_w + fixed_w; }
+};
 
 /** Power model of one complete GPU card. */
 class GpuPowerModel
@@ -34,6 +51,48 @@ class GpuPowerModel
      * @return hierarchical report (Table V structure)
      */
     PowerReport evaluate(const perf::ChipActivity &act) const;
+
+    /**
+     * Evaluate with per-block junction temperatures from the thermal
+     * solver instead of the single nominal config constant: the
+     * subthreshold leakage of every component is rescaled from the
+     * nominal temperature to its block's solved temperature. Core
+     * subtrees follow their cluster block; the folded L2 share inside
+     * each LDSTU follows the L2 block; NoC/MC/PCIe follow the uncore
+     * block. At uniformly nominal temperatures this is bit-identical
+     * to evaluate().
+     * @param block_temps_k temperatures in thermalBlocks() order
+     */
+    PowerReport evaluateAt(const perf::ChipActivity &act,
+                           const std::vector<double> &block_temps_k)
+        const;
+
+    /**
+     * The die/board block decomposition the thermal network models:
+     * one block per core cluster (cores incl. the undifferentiated
+     * area), the shared L2 (when present), the lumped uncore
+     * (NoC + MC + PCIe), and the off-package DRAM devices.
+     */
+    thermal::BlockSet thermalBlocks() const;
+
+    /**
+     * Map a report onto the thermal blocks, splitting each block's
+     * power into clock-scaled / temperature-scaled / fixed shares
+     * (the vocabulary of the throttling governor and the steady
+     * solver). Summing every component reproduces
+     * rep.totalPower() + rep.dram_w exactly.
+     * @param rep a report produced by evaluate()/evaluateAt()
+     * @param act the activity interval rep was evaluated for
+     */
+    std::vector<BlockPower>
+    blockPowers(const PowerReport &rep,
+                const perf::ChipActivity &act) const;
+
+    /**
+     * Subthreshold-leakage multiplier between the nominal junction
+     * temperature and temp_k (1.0 at the nominal temperature).
+     */
+    double subLeakScaleAt(double temp_k) const;
 
     /** Static-only report (idle chip, Table IV row). */
     PowerReport staticReport() const;

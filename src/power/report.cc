@@ -40,6 +40,32 @@ PowerNode::totalStatic() const
 }
 
 double
+PowerNode::totalSubLeakage() const
+{
+    double total = sub_leakage_w;
+    for (const auto &c : children)
+        total += c.totalSubLeakage();
+    return total;
+}
+
+double
+PowerNode::totalGateLeakage() const
+{
+    double total = gate_leakage_w;
+    for (const auto &c : children)
+        total += c.totalGateLeakage();
+    return total;
+}
+
+void
+PowerNode::scaleSubLeakage(double factor)
+{
+    sub_leakage_w *= factor;
+    for (auto &c : children)
+        c.scaleSubLeakage(factor);
+}
+
+double
 PowerNode::totalDynamic() const
 {
     double total = runtime_dynamic_w;

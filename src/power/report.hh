@@ -42,6 +42,18 @@ struct PowerNode
 
     /** Total static power (sub + gate leakage), including children. */
     double totalStatic() const;
+    /** Total subthreshold leakage only, including children. */
+    double totalSubLeakage() const;
+    /** Total gate leakage only, including children. */
+    double totalGateLeakage() const;
+    /**
+     * Multiply the subthreshold leakage of this node and every
+     * descendant by factor — how the thermal subsystem rescales a
+     * report subtree from the nominal junction temperature to a
+     * solved block temperature (gate leakage is only weakly
+     * temperature dependent and stays put).
+     */
+    void scaleSubLeakage(double factor);
     /** Total runtime dynamic power, including children. */
     double totalDynamic() const;
     /** Total area, including children. */

@@ -1,5 +1,6 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <limits>
@@ -43,13 +44,24 @@ SimulationEngine::runScenario(const Scenario &scenario,
     auto launches = workload->prepare(simulator.gpu());
 
     result.kernels.reserve(launches.size());
+    result.min_freq_scale = scenario.config.clocks.freq_scale;
     for (const workloads::KernelLaunch &kl : launches) {
         KernelRun run = simulator.runKernel(kl.prog, kl.launch,
                                             _options.with_trace,
-                                            _options.sample_interval_s);
+                                            _options.sample_interval_s,
+                                            kl.repeatable);
         double card_w = run.report.totalPower() + run.report.dram_w;
         result.time_s += run.perf.time_s;
         result.energy_j += card_w * run.perf.time_s;
+        if (run.thermal.enabled) {
+            result.thermal = true;
+            result.t_max_k =
+                std::max(result.t_max_k, run.thermal.t_max_k);
+            result.throttled |= run.thermal.throttled;
+            result.thermal_converged &= run.thermal.converged;
+            result.min_freq_scale = std::min(
+                result.min_freq_scale, run.thermal.op.freq_scale);
+        }
         result.kernels.push_back({kl.label, kl.repeatable,
                                   std::move(run)});
     }

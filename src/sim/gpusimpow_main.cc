@@ -14,8 +14,21 @@
  *     --scale N                 problem-size multiplier (default 1)
  *     --vdd-scale X             DVFS supply scale (single run)
  *     --freq-scale X            DVFS core-clock scale (single run)
- *     --trace FILE.csv          write a sampled power waveform
+ *     --trace FILE.csv          write a sampled power waveform (plus
+ *                               the per-block temperature waveform
+ *                               when --cooling is active)
  *     --sample-us N             trace sampling period (default 20)
+ *     --cooling NAME            enable the closed-loop thermal
+ *                               subsystem with a cooling preset
+ *                               (stock|constrained|liquid); in
+ *                               --sweep mode a comma-separated list
+ *                               becomes a sweep axis
+ *     --ambient K               ambient (case air) temperature
+ *                               (default 318; requires --cooling)
+ *     --t-limit K               junction temperature limit (default
+ *                               358; requires --cooling)
+ *     --throttle                clamp the core clock when a block
+ *                               exceeds --t-limit (requires --cooling)
  *     --stats                   dump raw activity counters
  *     --static-only             print area/static report and exit
  *     --dump-config             print the effective XML and exit
@@ -34,11 +47,13 @@
  * and --workload also accepts "all" (every Table I benchmark).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -64,6 +79,12 @@ struct Options
     std::string trace_file;
     double sample_us = 20.0;
     bool sample_us_set = false;
+    std::string cooling;
+    double ambient_k = 0.0;
+    bool ambient_set = false;
+    double t_limit_k = 0.0;
+    bool t_limit_set = false;
+    bool throttle = false;
     bool stats = false;
     bool static_only = false;
     bool dump_config = false;
@@ -85,6 +106,8 @@ usage()
         "                 [--workload NAME] [--scale N]\n"
         "                 [--vdd-scale X] [--freq-scale X]\n"
         "                 [--trace FILE.csv] [--sample-us N]\n"
+        "                 [--cooling stock|constrained|liquid]\n"
+        "                 [--ambient K] [--t-limit K] [--throttle]\n"
         "                 [--stats] [--static-only] [--dump-config]\n"
         "                 [--list]\n"
         "                 [--sweep] [--jobs N] [--nodes N,M]\n"
@@ -131,6 +154,26 @@ parseArgs(int argc, char **argv)
                 fatal("--sample-us must be > 0 (got ", opt.sample_us,
                       "); a non-positive period would record an empty "
                       "waveform");
+        } else if (arg == "--cooling") {
+            opt.cooling = need_value("--cooling");
+        } else if (arg == "--ambient") {
+            opt.ambient_k =
+                parseDouble(need_value("--ambient"), "--ambient");
+            opt.ambient_set = true;
+            // Same bounds config::validate enforces, caught before a
+            // simulation is built.
+            if (!(opt.ambient_k > 200.0 && opt.ambient_k < 400.0))
+                fatal("--ambient ", opt.ambient_k,
+                      " K out of range (200, 400)");
+        } else if (arg == "--t-limit") {
+            opt.t_limit_k =
+                parseDouble(need_value("--t-limit"), "--t-limit");
+            opt.t_limit_set = true;
+            if (!(opt.t_limit_k > 200.0 && opt.t_limit_k <= 500.0))
+                fatal("--t-limit ", opt.t_limit_k,
+                      " K out of range (200, 500]");
+        } else if (arg == "--throttle") {
+            opt.throttle = true;
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--static-only") {
@@ -185,6 +228,32 @@ resolvePreset(const std::string &name)
           "' (expected gt240 or gtx580)");
 }
 
+/** The thermal tuning flags mean nothing without the subsystem on. */
+void
+checkThermalFlagDeps(const Options &opt)
+{
+    if (opt.cooling.empty() &&
+        (opt.ambient_set || opt.t_limit_set || opt.throttle))
+        fatal("--ambient/--t-limit/--throttle require --cooling");
+}
+
+/** Fold --ambient/--t-limit/--throttle into a config's thermal
+ *  section and cross-check the resulting pair. */
+void
+applyThermalScalars(const Options &opt, GpuConfig &cfg)
+{
+    if (opt.ambient_set)
+        cfg.thermal.ambient_k = opt.ambient_k;
+    if (opt.t_limit_set)
+        cfg.thermal.t_limit_k = opt.t_limit_k;
+    if (opt.throttle)
+        cfg.thermal.throttle = true;
+    if (cfg.thermal.t_limit_k <= cfg.thermal.ambient_k)
+        fatal("--t-limit (", cfg.thermal.t_limit_k,
+              " K) must exceed the ambient temperature (",
+              cfg.thermal.ambient_k, " K)");
+}
+
 int
 runSweep(const Options &opt)
 {
@@ -232,6 +301,17 @@ runSweep(const Options &opt)
                               tech::max_node_nm));
     if (!opt.vf.empty())
         spec.operating_points = OperatingPoint::parseList(opt.vf);
+    checkThermalFlagDeps(opt);
+    if (!opt.cooling.empty()) {
+        spec.coolings = non_empty(opt.cooling);
+        // Reject unknown presets before any scenario runs.
+        for (const std::string &name : spec.coolings) {
+            ThermalConfig probe;
+            probe.applyCooling(name);
+        }
+        for (GpuConfig &cfg : spec.configs)
+            applyThermalScalars(opt, cfg);
+    }
     spec.scale = opt.scale;
 
     // An empty axis would "pass" with zero scenarios; treat it as the
@@ -248,6 +328,9 @@ runSweep(const Options &opt)
     if (!opt.vf.empty() && spec.operating_points.empty())
         fatal("--sweep: no operating points given (--vf '", opt.vf,
               "')");
+    if (!opt.cooling.empty() && spec.coolings.empty())
+        fatal("--sweep: no cooling presets given (--cooling '",
+              opt.cooling, "')");
 
     sim::EngineOptions eopt;
     eopt.jobs = opt.jobs;
@@ -265,6 +348,8 @@ runSweep(const Options &opt)
     if (!spec.operating_points.empty())
         std::printf(" x %zu operating points",
                     spec.operating_points.size());
+    if (!spec.coolings.empty())
+        std::printf(" x %zu coolings", spec.coolings.size());
     std::printf(" = %zu scenarios on %u worker(s)\n\n", spec.size(),
                 engine.jobs());
 
@@ -310,6 +395,11 @@ runTool(const Options &opt)
         OperatingPoint op{opt.vdd_scale, opt.freq_scale};
         op.applyTo(cfg); // validates the ranges
     }
+    checkThermalFlagDeps(opt);
+    if (!opt.cooling.empty()) {
+        cfg.thermal.applyCooling(opt.cooling);
+        applyThermalScalars(opt, cfg);
+    }
     if (opt.dump_config) {
         std::fputs(cfg.toXml().c_str(), stdout);
         return 0;
@@ -329,11 +419,21 @@ runTool(const Options &opt)
 
     std::ofstream trace_out;
     bool tracing = !opt.trace_file.empty();
+    std::vector<std::string> thermal_blocks;
+    if (cfg.thermal.enabled)
+        thermal_blocks = sim.powerModel().thermalBlocks().names;
     if (tracing) {
         trace_out.open(opt.trace_file);
         if (!trace_out)
             fatal("cannot open trace file '", opt.trace_file, "'");
-        trace_out << "kernel,t0_s,t1_s,dynamic_w,static_w,dram_w\n";
+        trace_out << "kernel,t0_s,t1_s,dynamic_w,static_w,dram_w";
+        if (cfg.thermal.enabled) {
+            trace_out << ",tmax_k";
+            for (const std::string &name : thermal_blocks)
+                trace_out << ",T_" << name << "_k";
+            trace_out << ",T_heatsink_k";
+        }
+        trace_out << '\n';
     }
 
     std::printf("%s on %s (%u cores, %u nm", opt.workload.c_str(),
@@ -349,7 +449,8 @@ runTool(const Options &opt)
     double total_time_s = 0.0;
     for (const auto &kl : launches) {
         KernelRun run = sim.runKernel(kl.prog, kl.launch, tracing,
-                                      opt.sample_us * 1e-6);
+                                      opt.sample_us * 1e-6,
+                                      kl.repeatable);
         double card_w = run.report.totalPower() + run.report.dram_w;
         total_energy_j += card_w * run.perf.time_s;
         total_time_s += run.perf.time_s;
@@ -359,11 +460,40 @@ runTool(const Options &opt)
                     static_cast<unsigned long>(run.perf.cycles),
                     run.perf.time_s * 1e6, run.report.dynamicPower(),
                     run.report.totalPower(), card_w);
+        if (run.thermal.enabled) {
+            std::printf("  thermal: Tmax %.1f K (%s), heatsink "
+                        "%.1f K%s%s\n",
+                        run.thermal.t_max_k,
+                        run.thermal.hottestBlock().c_str(),
+                        run.thermal.heatsink_k,
+                        run.thermal.throttled
+                            ? strformat(", THROTTLED x%.3g",
+                                        run.thermal.op.freq_scale)
+                                  .c_str()
+                            : "",
+                        run.thermal.converged ? ""
+                                              : ", THERMAL RUNAWAY");
+        }
         if (tracing) {
-            for (const PowerSample &s : run.trace) {
+            for (std::size_t i = 0; i < run.trace.size(); ++i) {
+                const PowerSample &s = run.trace[i];
                 trace_out << kl.label << ',' << s.t0 << ',' << s.t1
                           << ',' << s.dynamic_w << ',' << s.static_w
-                          << ',' << s.dram_w << '\n';
+                          << ',' << s.dram_w;
+                if (run.thermal.enabled &&
+                    i < run.thermal.trace.size()) {
+                    const ThermalSample &ts = run.thermal.trace[i];
+                    // Die blocks only, consistent with the reported
+                    // t_max_k (the dram block is last).
+                    double tmax = 0.0;
+                    for (std::size_t b = 0;
+                         b + 1 < thermal_blocks.size(); ++b)
+                        tmax = std::max(tmax, ts.temps_k[b]);
+                    trace_out << ',' << tmax;
+                    for (double t : ts.temps_k)
+                        trace_out << ',' << t;
+                }
+                trace_out << '\n';
             }
         }
         if (opt.stats)

@@ -1,10 +1,49 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace gpusimpow {
 
-Simulator::Simulator(const GpuConfig &cfg) : _cfg(cfg)
+namespace {
+
+/** Governor refinement rounds (measure -> clamp -> re-measure). */
+constexpr int max_governor_rounds = 4;
+/** Bisection steps per round over the freq_scale interval. */
+constexpr int governor_bisect_steps = 40;
+/** The governor accepts a re-measured point this far over the
+ *  limit, K (the analytic clock model is only first-order). */
+constexpr double governor_slack_k = 0.25;
+/** Extra clamp applied when a re-measured point still overheats: the
+ *  linear clock model is optimistic for memory-bound kernels (their
+ *  runtime stretches less than 1/f, so dynamic power lands higher
+ *  than predicted), and near the leakage-stability boundary that
+ *  optimism would otherwise shave only ~2% per round. */
+constexpr double governor_backoff = 0.9;
+
+} // namespace
+
+std::string
+ThermalResult::hottestBlock() const
+{
+    // Die blocks only, consistent with t_max_k: the DRAM board block
+    // has its own rating and its own (clock-invariant) power.
+    std::size_t best = block_names.size();
+    for (std::size_t i = 0;
+         i < block_temps_k.size() && i < block_names.size(); ++i) {
+        if (block_names[i] == "dram")
+            continue;
+        if (best == block_names.size() ||
+            block_temps_k[i] > block_temps_k[best])
+            best = i;
+    }
+    return best < block_names.size() ? block_names[best] : "";
+}
+
+Simulator::Simulator(const GpuConfig &cfg)
+    : _cfg(cfg), _nominal_freq_scale(cfg.clocks.freq_scale)
 {
     _gpu = std::make_unique<perf::Gpu>(_cfg);
     _power = std::make_unique<power::GpuPowerModel>(_cfg);
@@ -14,18 +53,59 @@ void
 Simulator::recycle()
 {
     _gpu->resetDeviceState();
+    // Erase every thermal trace of previous scenarios: the governor's
+    // clamp and the carried transient temperatures both must not leak
+    // into the next workload.
+    if (_cfg.clocks.freq_scale != _nominal_freq_scale)
+        applyFreqScale(_nominal_freq_scale);
+    _thermal_state = thermal::ThermalNetwork::State{};
+}
+
+void
+Simulator::ensureThermal()
+{
+    if (_network)
+        return;
+    _blocks = _power->thermalBlocks();
+    _network =
+        std::make_unique<thermal::ThermalNetwork>(_blocks, _cfg.thermal);
+}
+
+void
+Simulator::applyFreqScale(double freq_scale)
+{
+    _cfg.clocks.freq_scale = freq_scale;
+    _gpu->setFreqScale(freq_scale);
+    // The power model caches V^2*f scales and clock-derived rates;
+    // rebuild it at the clamped clock (the die geometry, and with it
+    // the thermal network, is frequency-invariant).
+    _power = std::make_unique<power::GpuPowerModel>(_cfg);
 }
 
 KernelRun
 Simulator::runKernel(const perf::KernelProgram &prog,
                      const perf::LaunchConfig &launch, bool with_trace,
-                     double sample_interval_s)
+                     double sample_interval_s, bool repeatable)
+{
+    if (!_cfg.thermal.enabled)
+        return runOnce(prog, launch, with_trace, sample_interval_s);
+    return runThermal(prog, launch, with_trace, sample_interval_s,
+                      repeatable);
+}
+
+KernelRun
+Simulator::runOnce(const perf::KernelProgram &prog,
+                   const perf::LaunchConfig &launch, bool with_trace,
+                   double sample_interval_s)
 {
     KernelRun run;
 
     perf::Gpu::SampleFn sampler;
-    if (with_trace) {
-        double static_w = _power->staticPower();
+    bool thermal_on = _cfg.thermal.enabled;
+    double static_w = thermal_on ? 0.0 : with_trace
+                                             ? _power->staticPower()
+                                             : 0.0;
+    if (with_trace && !thermal_on) {
         sampler = [&, static_w](const perf::ChipActivity &delta,
                                 double t0, double t1) {
             power::PowerReport rep = _power->evaluate(delta);
@@ -37,11 +117,215 @@ Simulator::runKernel(const perf::KernelProgram &prog,
             s.dram_w = rep.dram_w;
             run.trace.push_back(s);
         };
+    } else if (with_trace) {
+        // Thermal transient path: every sampling interval advances
+        // the RC network under that interval's block powers, with
+        // the leakage share of the next interval re-evaluated at the
+        // current transient temperatures — the feedback loop, sampled.
+        sampler = [&](const perf::ChipActivity &delta, double t0,
+                      double t1) {
+            power::PowerReport rep = _power->evaluate(delta);
+            std::vector<power::BlockPower> bp =
+                _power->blockPowers(rep, delta);
+            if (!_thermal_state.initialized)
+                _thermal_state = _network->ambientState();
+            std::vector<double> powers(bp.size(), 0.0);
+            double chip_static = 0.0;
+            for (std::size_t i = 0; i < bp.size(); ++i) {
+                double leak =
+                    bp[i].sub_leak_w *
+                    _power->subLeakScaleAt(_thermal_state.temps_k[i]);
+                powers[i] = bp[i].dynamic_w + leak + bp[i].fixed_w;
+                if (i != _blocks.dramIndex())
+                    chip_static += leak + bp[i].fixed_w;
+            }
+            _network->advance(_thermal_state, powers, t1 - t0);
+
+            PowerSample s;
+            s.t0 = t0;
+            s.t1 = t1;
+            s.dynamic_w = rep.dynamicPower();
+            s.static_w = chip_static;
+            s.dram_w = rep.dram_w;
+            run.trace.push_back(s);
+
+            ThermalSample ts;
+            ts.t0 = t0;
+            ts.t1 = t1;
+            ts.temps_k = _thermal_state.temps_k;
+            run.thermal.trace.push_back(ts);
+        };
     }
 
     run.perf = _gpu->run(prog, launch, sampler,
                          with_trace ? sample_interval_s : 0.0);
     run.report = _power->evaluate(run.perf.activity);
+    return run;
+}
+
+thermal::SteadyResult
+Simulator::solveSteady(const std::vector<power::BlockPower> &bp,
+                       double freq_ratio) const
+{
+    // Dynamic power follows the clock to first order; subthreshold
+    // leakage follows the block temperature the solve is converging
+    // on; gate leakage and the external DRAM follow neither.
+    return _network->solveSteady(
+        [&](const std::vector<double> &temps) {
+            std::vector<double> powers(bp.size(), 0.0);
+            for (std::size_t i = 0; i < bp.size(); ++i)
+                powers[i] =
+                    bp[i].dynamic_w * freq_ratio +
+                    bp[i].sub_leak_w * _power->subLeakScaleAt(temps[i]) +
+                    bp[i].fixed_w;
+            return powers;
+        });
+}
+
+KernelRun
+Simulator::runThermal(const perf::KernelProgram &prog,
+                      const perf::LaunchConfig &launch, bool with_trace,
+                      double sample_interval_s, bool repeatable)
+{
+    ensureThermal();
+    // Every kernel starts at the configured operating point; the
+    // governor re-decides the clamp from this kernel's own power.
+    if (_cfg.clocks.freq_scale != _nominal_freq_scale)
+        applyFreqScale(_nominal_freq_scale);
+
+    // Exploratory governor runs must not advance the carried
+    // transient state twice: snapshot it, restore before re-runs.
+    thermal::ThermalNetwork::State entry_state = _thermal_state;
+
+    KernelRun run = runOnce(prog, launch, with_trace, sample_interval_s);
+    std::vector<power::BlockPower> bp =
+        _power->blockPowers(run.report, run.perf.activity);
+    thermal::SteadyResult steady = solveSteady(bp, 1.0);
+
+    const double limit = _cfg.thermal.t_limit_k;
+    const std::size_t dram = _blocks.dramIndex();
+    // The governor only judges die blocks: the DRAM board block runs
+    // from its own supply and clock (its power split is fixed_w), so
+    // clamping the core clock cannot cool it — including it would
+    // drive the clamp to the floor for a block throttling can't fix.
+    auto dieMax = [&](const thermal::SteadyResult &s) {
+        double t = 0.0;
+        for (std::size_t i = 0; i < dram; ++i)
+            t = std::max(t, s.temps_k[i]);
+        return t;
+    };
+    auto within = [&](const thermal::SteadyResult &s, double slack) {
+        return s.converged && dieMax(s) <= limit + slack;
+    };
+
+    bool throttled = false;
+    if (_cfg.thermal.throttle && !within(steady, 0.0)) {
+        double f_meas = _nominal_freq_scale; // clock bp was measured at
+        for (int round = 0; round < max_governor_rounds; ++round) {
+            // Largest clock whose modeled steady state respects the
+            // limit, by bisection on the measured power split.
+            double lo = min_throttle_freq_scale;
+            double hi = f_meas;
+            double f_new = lo;
+            if (within(solveSteady(bp, lo / f_meas), 0.0)) {
+                for (int it = 0; it < governor_bisect_steps; ++it) {
+                    double mid = 0.5 * (lo + hi);
+                    if (within(solveSteady(bp, mid / f_meas), 0.0))
+                        lo = mid;
+                    else
+                        hi = mid;
+                }
+                f_new = lo;
+            }
+            // else: even the floor overheats — clamp to the floor
+            // and report the (non-)convergence faithfully.
+            throttled = true;
+            if (round > 0)
+                f_new = std::max(min_throttle_freq_scale,
+                                 f_new * governor_backoff);
+            if (f_new >= f_meas * (1.0 - 1e-9)) {
+                steady = solveSteady(bp, 1.0);
+                break;
+            }
+            applyFreqScale(f_new);
+            if (repeatable) {
+                _thermal_state = entry_state;
+                run = runOnce(prog, launch, with_trace,
+                              sample_interval_s);
+                bp = _power->blockPowers(run.report,
+                                         run.perf.activity);
+            } else {
+                // Cannot legally re-execute: rescale the measured
+                // run analytically — the cycle count stands, the
+                // elapsed time stretches with the clock, and
+                // re-evaluating over the stretched interval scales
+                // every rate (and picks up the rebuilt V^2*f
+                // base-power scale). The traces stretch the same
+                // way so their integral keeps matching the report.
+                double stretch = f_meas / f_new;
+                run.perf.time_s *= stretch;
+                run.perf.activity.elapsed_s *= stretch;
+                for (PowerSample &s : run.trace) {
+                    s.t0 *= stretch;
+                    s.t1 *= stretch;
+                    s.dynamic_w /= stretch;
+                }
+                for (ThermalSample &s : run.thermal.trace) {
+                    s.t0 *= stretch;
+                    s.t1 *= stretch;
+                }
+                power::PowerReport rep_nom =
+                    _power->evaluate(run.perf.activity);
+                bp = _power->blockPowers(rep_nom, run.perf.activity);
+            }
+            // Either way the new point is a measurement at f_new;
+            // verify it and keep iterating until it truly holds —
+            // near the leakage-stability boundary the linear clock
+            // model is optimistic, and an unverified accept would
+            // flip into a runaway result.
+            f_meas = f_new;
+            steady = solveSteady(bp, 1.0);
+            if (within(steady, governor_slack_k))
+                break;
+        }
+    }
+
+    // Whole-kernel energy accounting at the solved temperatures. On
+    // thermal runaway no steady state exists: leakage evaluated at
+    // the 500 K clamp would be ~180x-inflated garbage, so the report
+    // falls back to the nominal junction temperature and the outcome
+    // is flagged through converged == false instead.
+    run.report =
+        steady.converged
+            ? _power->evaluateAt(run.perf.activity, steady.temps_k)
+            : _power->evaluate(run.perf.activity);
+
+    // Without a trace the transient state still has to march through
+    // this kernel's span (sustained-activity history for the next
+    // kernel); with a trace the sampler already did, sample by sample.
+    if (!with_trace) {
+        if (!_thermal_state.initialized)
+            _thermal_state = _network->ambientState();
+        std::vector<double> powers(bp.size(), 0.0);
+        for (std::size_t i = 0; i < bp.size(); ++i)
+            powers[i] = bp[i].dynamic_w +
+                        bp[i].sub_leak_w *
+                            _power->subLeakScaleAt(
+                                _thermal_state.temps_k[i]) +
+                        bp[i].fixed_w;
+        _network->advance(_thermal_state, powers, run.perf.time_s);
+    }
+
+    ThermalResult &th = run.thermal;
+    th.enabled = true;
+    th.converged = steady.converged;
+    th.throttled = throttled;
+    th.iterations = steady.iterations;
+    th.t_max_k = dieMax(steady);
+    th.heatsink_k = steady.heatsink_k;
+    th.op = {_cfg.tech.vdd_scale, _cfg.clocks.freq_scale};
+    th.block_names = _blocks.names;
+    th.block_temps_k = steady.temps_k;
     return run;
 }
 

@@ -5,6 +5,13 @@
  * power model (activity consumer) and returns combined results —
  * whole-kernel power reports plus optional power-over-time traces
  * for the measurement testbed.
+ *
+ * When the configuration enables the thermal subsystem the loop is
+ * closed: a steady-state RC solve turns the kernel's power into
+ * per-block junction temperatures, leakage is re-evaluated at those
+ * temperatures, a transient integrator runs alongside the power
+ * trace, and (optionally) a throttling governor clamps the core
+ * clock until the hottest block respects the temperature limit.
  */
 
 #ifndef GPUSIMPOW_SIM_SIMULATOR_HH
@@ -18,6 +25,7 @@
 #include "perf/gpu.hh"
 #include "perf/kernel.hh"
 #include "power/chip_power.hh"
+#include "thermal/thermal.hh"
 
 namespace gpusimpow {
 
@@ -30,7 +38,8 @@ struct PowerSample
     double t1 = 0.0;
     /** Chip dynamic power over the interval, W. */
     double dynamic_w = 0.0;
-    /** Chip static power, W. */
+    /** Chip static power, W (leakage at the transient block
+     *  temperatures when the thermal subsystem is enabled). */
     double static_w = 0.0;
     /** External DRAM power, W. */
     double dram_w = 0.0;
@@ -39,15 +48,67 @@ struct PowerSample
     double total() const { return dynamic_w + static_w + dram_w; }
 };
 
+/** One sampled point of the per-block temperature waveform. */
+struct ThermalSample
+{
+    /** Interval start, s. */
+    double t0 = 0.0;
+    /** Interval end, s. */
+    double t1 = 0.0;
+    /** Node temperatures at the end of the interval, K: thermal
+     *  blocks in BlockSet order, then the heatsink node. */
+    std::vector<double> temps_k;
+};
+
+/** Thermal outcome of one kernel (empty unless thermal is enabled). */
+struct ThermalResult
+{
+    /** True when the thermal subsystem ran for this kernel. */
+    bool enabled = false;
+    /** False on thermal runaway (no stable operating temperature at
+     *  the applied clock): block_temps_k are clamped at the runaway
+     *  cap, and the kernel report's leakage falls back to the
+     *  nominal junction temperature, since no steady state exists
+     *  to evaluate it at. */
+    bool converged = false;
+    /** True when the governor clamped the core clock. */
+    bool throttled = false;
+    /** Fixed-point iterations of the final steady solve. */
+    unsigned iterations = 0;
+    /** Hottest steady-state *die* block temperature, K. The DRAM
+     *  board block (own supply, clock, and rating) is reported in
+     *  block_temps_k but excluded here and from the throttling
+     *  criterion — the core clock cannot cool it. */
+    double t_max_k = 0.0;
+    /** Steady-state heatsink temperature, K. */
+    double heatsink_k = 0.0;
+    /** Operating point the kernel actually ran at (freq_scale
+     *  reflects any throttling clamp). */
+    OperatingPoint op;
+    /** Thermal block names (BlockSet order). */
+    std::vector<std::string> block_names;
+    /** Steady-state block temperatures, K (BlockSet order). */
+    std::vector<double> block_temps_k;
+    /** Transient temperature waveform (when tracing was on). */
+    std::vector<ThermalSample> trace;
+
+    /** Name of the hottest block. */
+    std::string hottestBlock() const;
+};
+
 /** Combined result of simulating one kernel. */
 struct KernelRun
 {
     /** Performance-side results (cycles, activity). */
     perf::RunResult perf;
-    /** Whole-kernel power report (Table V structure). */
+    /** Whole-kernel power report (Table V structure); leakage is
+     *  evaluated at the solved block temperatures when the thermal
+     *  subsystem is enabled. */
     power::PowerReport report;
     /** Power waveform when tracing was requested. */
     std::vector<PowerSample> trace;
+    /** Thermal solve outcome (enabled == false otherwise). */
+    ThermalResult thermal;
 };
 
 /** Facade over one simulated GPU and its power model. */
@@ -62,32 +123,66 @@ class Simulator
     /** The power model (static/area queries). */
     const power::GpuPowerModel &powerModel() const { return *_power; }
 
-    /** Configuration in use. */
+    /** Configuration in use (freq_scale reflects a live throttling
+     *  clamp until the next kernel or recycle()). */
     const GpuConfig &config() const { return _cfg; }
 
     /**
-     * Run one kernel and evaluate its power.
+     * Run one kernel and evaluate its power (and, when enabled, its
+     * thermal behavior).
      * @param prog kernel program
      * @param launch launch geometry
      * @param with_trace also produce a sampled power waveform
      * @param sample_interval_s trace sampling period
+     * @param repeatable the kernel may be re-executed with identical
+     *        results — the throttling governor re-runs the kernel at
+     *        the clamped clock when it may; otherwise it rescales
+     *        the measured run analytically
      */
     KernelRun runKernel(const perf::KernelProgram &prog,
                         const perf::LaunchConfig &launch,
                         bool with_trace = false,
-                        double sample_interval_s = 20e-6);
+                        double sample_interval_s = 20e-6,
+                        bool repeatable = true);
 
     /**
      * Reset device-visible state so the next workload runs exactly as
      * it would on a freshly constructed Simulator, without rebuilding
-     * the (expensive) power model. Only legal between kernels.
+     * the (expensive) power model. Restores the configured operating
+     * point if the governor clamped it and discards all carried
+     * thermal state. Only legal between kernels.
      */
     void recycle();
+
+    /** Lowest freq_scale the throttling governor will clamp to. */
+    static constexpr double min_throttle_freq_scale = 0.25;
 
   private:
     GpuConfig _cfg;
     std::unique_ptr<perf::Gpu> _gpu;
     std::unique_ptr<power::GpuPowerModel> _power;
+
+    /** Configured (pre-throttle) core-clock scale. */
+    double _nominal_freq_scale;
+    /** Lazily built thermal network + block decomposition. */
+    std::unique_ptr<thermal::ThermalNetwork> _network;
+    thermal::BlockSet _blocks;
+    /** Transient temperatures carried across kernels; reset by
+     *  recycle() so simulator reuse stays bit-identical. */
+    thermal::ThermalNetwork::State _thermal_state;
+
+    void ensureThermal();
+    void applyFreqScale(double freq_scale);
+    KernelRun runOnce(const perf::KernelProgram &prog,
+                      const perf::LaunchConfig &launch,
+                      bool with_trace, double sample_interval_s);
+    thermal::SteadyResult
+    solveSteady(const std::vector<power::BlockPower> &bp,
+                double freq_ratio) const;
+    KernelRun runThermal(const perf::KernelProgram &prog,
+                         const perf::LaunchConfig &launch,
+                         bool with_trace, double sample_interval_s,
+                         bool repeatable);
 };
 
 } // namespace gpusimpow

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace gpusimpow {
 namespace sim {
@@ -13,7 +14,8 @@ SweepSpec::size() const
     std::size_t nodes = tech_nodes.empty() ? 1 : tech_nodes.size();
     std::size_t ops =
         operating_points.empty() ? 1 : operating_points.size();
-    return configs.size() * nodes * ops * workloads.size();
+    std::size_t cools = coolings.empty() ? 1 : coolings.size();
+    return configs.size() * nodes * ops * cools * workloads.size();
 }
 
 std::vector<Scenario>
@@ -39,26 +41,40 @@ SweepSpec::expand() const
                 node_cfg.tech.vdd = -1.0; // node-nominal supply
             }
             for (const OperatingPoint &op : ops) {
-                GpuConfig cfg = node_cfg;
+                GpuConfig op_cfg = node_cfg;
                 // An empty axis means "each config's own operating
                 // point": leave whatever scales the base config
                 // carries untouched.
                 if (label_ops)
-                    op.applyTo(cfg);
-                std::string prefix =
-                    cfg.name + "/" +
-                    std::to_string(cfg.tech.node_nm) + "nm/" +
+                    op.applyTo(op_cfg);
+                std::string op_prefix =
+                    op_cfg.name + "/" +
+                    std::to_string(op_cfg.tech.node_nm) + "nm/" +
                     (label_ops ? op.label() + "/" : "");
-                for (const std::string &wl : workloads) {
-                    Scenario s;
-                    s.index = scenarios.size();
-                    s.config = cfg;
-                    s.op = cfg.operatingPoint();
-                    s.workload = wl;
-                    s.scale = scale;
-                    s.verify = verify;
-                    s.label = prefix + wl;
-                    scenarios.push_back(std::move(s));
+                // Same contract for the cooling axis: an empty axis
+                // keeps the config's own thermal section and labels.
+                std::vector<std::string> cools = coolings;
+                bool label_cooling = !cools.empty();
+                if (cools.empty())
+                    cools.push_back("");
+                for (const std::string &cooling : cools) {
+                    GpuConfig cfg = op_cfg;
+                    std::string prefix = op_prefix;
+                    if (label_cooling) {
+                        cfg.thermal.applyCooling(cooling);
+                        prefix += cooling + "/";
+                    }
+                    for (const std::string &wl : workloads) {
+                        Scenario s;
+                        s.index = scenarios.size();
+                        s.config = cfg;
+                        s.op = cfg.operatingPoint();
+                        s.workload = wl;
+                        s.scale = scale;
+                        s.verify = verify;
+                        s.label = prefix + wl;
+                        scenarios.push_back(std::move(s));
+                    }
                 }
             }
         }
@@ -123,12 +139,25 @@ SweepResult::formatTable() const
     for (const ScenarioResult &r : _rows) {
         std::snprintf(line, sizeof(line),
                       "%-40s %9zu %9.0f %10.1f %10.2f %11.3f %12.4f "
-                      "%6s\n",
+                      "%6s",
                       r.scenario.label.c_str(), r.kernels.size(),
                       r.shader_hz / 1e6, r.time_s * 1e6,
                       r.avg_power_w, r.energy_j * 1e3, r.edp() * 1e9,
                       r.verified ? "PASS" : "FAIL");
         out += line;
+        // Thermal rows only grow a suffix, so thermal-free sweeps
+        // render exactly as before the subsystem existed.
+        if (r.thermal) {
+            std::snprintf(line, sizeof(line), "  Tmax %.1f K%s%s",
+                          r.t_max_k,
+                          r.throttled ? strformat(" THROTTLED x%.3g",
+                                                  r.min_freq_scale)
+                                            .c_str()
+                                      : "",
+                          r.thermal_converged ? "" : " RUNAWAY");
+            out += line;
+        }
+        out += '\n';
     }
     return out;
 }

@@ -71,6 +71,14 @@ struct SweepSpec
      * its own label segment.
      */
     std::vector<OperatingPoint> operating_points;
+    /**
+     * Cooling presets (ThermalConfig::coolingPresets names) swept
+     * between the operating-point and workload axes. Each entry
+     * enables the thermal subsystem with that preset, inheriting the
+     * base config's ambient/t-limit/throttle settings; empty = keep
+     * each config's own thermal section (and pre-axis labels).
+     */
+    std::vector<std::string> coolings;
     /** Problem-size multiplier forwarded to every workload. */
     unsigned scale = 1;
     /** Run each workload's device-vs-host verification afterwards. */
@@ -115,6 +123,17 @@ struct ScenarioResult
     double shader_hz = 0.0;
     /** Result of the workload's verification (true when skipped). */
     bool verified = false;
+    /** True when the thermal subsystem ran for this scenario. */
+    bool thermal = false;
+    /** Hottest steady-state block temperature across kernels, K. */
+    double t_max_k = 0.0;
+    /** True when any kernel ran with a throttling clamp. */
+    bool throttled = false;
+    /** False when any kernel hit thermal runaway. */
+    bool thermal_converged = true;
+    /** Lowest clamped freq_scale across kernels (the configured
+     *  scale when nothing throttled). */
+    double min_freq_scale = 0.0;
 
     /** Energy-delay product, J*s. */
     double edp() const { return energy_j * time_s; }

@@ -70,10 +70,16 @@ interpolate(double nm)
 } // namespace
 
 double
-TechNode::tempLeakFactor() const
+tempLeakFactorAt(double temperature_k)
 {
     // Subthreshold leakage roughly doubles every 20 K above 300 K.
-    return std::pow(2.0, (temperature - 300.0) / 20.0);
+    return std::pow(2.0, (temperature_k - 300.0) / 20.0);
+}
+
+double
+TechNode::tempLeakFactor() const
+{
+    return tempLeakFactorAt(temperature);
 }
 
 double
@@ -113,6 +119,9 @@ TechNode::make(unsigned node_nm, double vdd, double temperature,
               " nm, clamped to the 28..65 nm table endpoints)");
     if (vdd_scale <= 0.0)
         fatal("vdd_scale must be positive, got ", vdd_scale);
+    if (!(temperature > 0.0 && temperature <= 500.0))
+        fatal("junction temperature ", temperature,
+              " K out of range (0, 500]");
     NodeRow row = interpolate(static_cast<double>(node_nm));
 
     TechNode t;

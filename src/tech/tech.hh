@@ -22,6 +22,15 @@ namespace tech {
 /** Transistor flavor per ITRS classification. */
 enum class DeviceType { HP, LSTP };
 
+/**
+ * Subthreshold-leakage temperature multiplier relative to the 300 K
+ * characterization point: doubles roughly every 20 K, the usual rule
+ * of thumb. Exposed standalone so the thermal subsystem can rescale
+ * leakage between arbitrary junction temperatures
+ * (factorAt(T1)/factorAt(T0)) without rebuilding a TechNode.
+ */
+double tempLeakFactorAt(double temperature_k);
+
 /** Parameters of one device flavor at one node. */
 struct Device
 {

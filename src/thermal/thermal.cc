@@ -1,0 +1,294 @@
+#include "thermal/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "config/gpu_config.hh"
+
+namespace gpusimpow {
+namespace thermal {
+
+namespace {
+
+/**
+ * Stock-cooler area law constants (see stockHeatsinkResistance).
+ * Calibrated against the golden-anchor blackscholes runs: GT240
+ * (105.1 mm^2, ~39 W on-die) and GTX580 (305.5 mm^2, ~143.6 W
+ * on-die) both settle within a couple of kelvin of the nominal 350 K
+ * junction temperature at the default 318 K case-ambient.
+ */
+constexpr double stock_hs_k = 252.0;
+constexpr double stock_hs_area_exp = 1.25;
+
+/** Vertical-path sizing floor: a zero-area block would otherwise be
+ *  thermally disconnected from the heatsink (singular matrix). */
+constexpr double min_block_area_mm2 = 0.5;
+
+/** Steady-state fixed-point controls. */
+constexpr double steady_tol_k = 1e-4;
+constexpr unsigned steady_max_iterations = 1000;
+
+/** Transient substep cap; longer spans snap to the steady solution
+ *  (they exceed every time constant by orders of magnitude). */
+constexpr unsigned max_substeps = 50000;
+
+/**
+ * Solve the dense symmetric-positive system A*x = b in place with
+ * Gaussian elimination + partial pivoting. n is tiny (block count +
+ * heatsink, typically <= 10), so O(n^3) is irrelevant.
+ */
+std::vector<double>
+solveDense(std::vector<double> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    GSP_ASSERT(a.size() == n * n, "thermal matrix shape mismatch");
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row)
+            if (std::fabs(a[row * n + col]) >
+                std::fabs(a[pivot * n + col]))
+                pivot = row;
+        if (pivot != col) {
+            for (std::size_t k = 0; k < n; ++k)
+                std::swap(a[col * n + k], a[pivot * n + k]);
+            std::swap(b[col], b[pivot]);
+        }
+        double diag = a[col * n + col];
+        GSP_ASSERT(std::fabs(diag) > 1e-30,
+                   "singular thermal network (isolated node?)");
+        for (std::size_t row = col + 1; row < n; ++row) {
+            double f = a[row * n + col] / diag;
+            if (f == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row * n + k] -= f * a[col * n + k];
+            b[row] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double sum = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            sum -= a[row * n + k] * x[k];
+        x[row] = sum / a[row * n + row];
+    }
+    return x;
+}
+
+} // namespace
+
+double
+stockHeatsinkResistance(double die_area_mm2)
+{
+    GSP_ASSERT(die_area_mm2 > 0.0, "die area must be positive");
+    return stock_hs_k / std::pow(die_area_mm2, stock_hs_area_exp);
+}
+
+double
+SteadyResult::maxTemp() const
+{
+    double t = 0.0;
+    for (double v : temps_k)
+        t = std::max(t, v);
+    return t;
+}
+
+std::size_t
+SteadyResult::hottestBlock() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < temps_k.size(); ++i)
+        if (temps_k[i] > temps_k[best])
+            best = i;
+    return best;
+}
+
+ThermalNetwork::ThermalNetwork(const BlockSet &blocks,
+                               const ThermalConfig &tc)
+    : _blocks(blocks), _ambient_k(tc.ambient_k)
+{
+    GSP_ASSERT(blocks.size() >= 2, "thermal network needs >= 2 blocks");
+    GSP_ASSERT(blocks.names.size() == blocks.area_mm2.size(),
+               "block names/areas mismatch");
+    const std::size_t num_blocks = blocks.size();
+    const std::size_t hs = num_blocks; // heatsink node index
+    _n = num_blocks + 1;
+    _g.assign(_n * _n, 0.0);
+    _g_amb.assign(_n, 0.0);
+    _c.assign(_n, 0.0);
+
+    double die_area = 0.0;
+    for (std::size_t i = 0; i < blocks.numDie(); ++i)
+        die_area += std::max(blocks.area_mm2[i], min_block_area_mm2);
+
+    // Vertical path of every die block through TIM/spreader to the
+    // heatsink, sized by block area; lateral spreading couples die
+    // neighbors in layout order.
+    for (std::size_t i = 0; i < blocks.numDie(); ++i) {
+        double area = std::max(blocks.area_mm2[i], min_block_area_mm2);
+        setConductance(i, hs, area / tc.r_die_k_mm2_per_w);
+        _c[i] = area * tc.c_die_j_per_k_mm2;
+        if (i + 1 < blocks.numDie())
+            setConductance(i, i + 1, 1.0 / tc.r_lateral_k_per_w);
+    }
+
+    // The DRAM devices sit on the board with their own (airflow)
+    // path to ambient — no coupling into the die heatsink.
+    std::size_t dram = blocks.dramIndex();
+    _g_amb[dram] = 1.0 / tc.r_dram_k_per_w;
+    _c[dram] = tc.c_dram_j_per_k;
+
+    // Heatsink to ambient: explicit resistance, or the stock area
+    // law scaled by the cooling preset.
+    double r_hs = tc.r_heatsink_k_per_w > 0.0
+                      ? tc.r_heatsink_k_per_w
+                      : stockHeatsinkResistance(die_area) *
+                            tc.cooling_scale;
+    GSP_ASSERT(r_hs > 0.0, "heatsink resistance must be positive");
+    _g_amb[hs] = 1.0 / r_hs;
+    _c[hs] = tc.c_heatsink_j_per_k;
+}
+
+void
+ThermalNetwork::setConductance(std::size_t a, std::size_t b, double g)
+{
+    _g[a * _n + b] = g;
+    _g[b * _n + a] = g;
+}
+
+std::vector<double>
+ThermalNetwork::solveLinear(const std::vector<double> &powers_w) const
+{
+    GSP_ASSERT(powers_w.size() == _blocks.size(),
+               "power vector does not match block set");
+    // A = diag(sum of conductances) - offdiagonal conductances;
+    // b = injected power + ambient boundary current.
+    std::vector<double> a(_n * _n, 0.0);
+    std::vector<double> b(_n, 0.0);
+    for (std::size_t i = 0; i < _n; ++i) {
+        double diag = _g_amb[i];
+        for (std::size_t j = 0; j < _n; ++j) {
+            if (i == j)
+                continue;
+            double g = conductance(i, j);
+            diag += g;
+            a[i * _n + j] = -g;
+        }
+        a[i * _n + i] = diag;
+        b[i] = (i < powers_w.size() ? powers_w[i] : 0.0) +
+               _g_amb[i] * _ambient_k;
+    }
+    return solveDense(std::move(a), std::move(b));
+}
+
+SteadyResult
+ThermalNetwork::solveSteady(
+    const std::function<
+        std::vector<double>(const std::vector<double> &)> &power_at)
+    const
+{
+    SteadyResult result;
+    result.temps_k.assign(_blocks.size(), _ambient_k);
+    result.heatsink_k = _ambient_k;
+
+    bool capped = false;
+    for (unsigned iter = 0; iter < steady_max_iterations; ++iter) {
+        std::vector<double> powers = power_at(result.temps_k);
+        std::vector<double> nodes = solveLinear(powers);
+        capped = false;
+        double delta = 0.0;
+        for (std::size_t i = 0; i < _blocks.size(); ++i) {
+            double t = nodes[i];
+            if (t > runaway_cap_k) {
+                t = runaway_cap_k;
+                capped = true;
+            }
+            delta = std::max(delta, std::fabs(t - result.temps_k[i]));
+            result.temps_k[i] = t;
+        }
+        result.heatsink_k = std::min(nodes[_n - 1], runaway_cap_k);
+        result.iterations = iter + 1;
+        if (delta < steady_tol_k) {
+            // A fixed point pinned at the cap is thermal runaway,
+            // not convergence.
+            result.converged = !capped;
+            return result;
+        }
+    }
+    result.converged = false;
+    return result;
+}
+
+ThermalNetwork::State
+ThermalNetwork::ambientState() const
+{
+    State s;
+    s.temps_k.assign(_n, _ambient_k);
+    s.initialized = true;
+    return s;
+}
+
+double
+ThermalNetwork::maxStableDt() const
+{
+    // Forward Euler is stable below 2*C/G per node; keep a 2x margin.
+    double dt = 1e30;
+    for (std::size_t i = 0; i < _n; ++i) {
+        double g = _g_amb[i];
+        for (std::size_t j = 0; j < _n; ++j)
+            if (j != i)
+                g += conductance(i, j);
+        if (g > 0.0 && _c[i] > 0.0)
+            dt = std::min(dt, _c[i] / g);
+    }
+    return 0.5 * dt;
+}
+
+void
+ThermalNetwork::advance(State &state,
+                        const std::vector<double> &powers_w,
+                        double dt_s) const
+{
+    GSP_ASSERT(powers_w.size() == _blocks.size(),
+               "power vector does not match block set");
+    if (!state.initialized)
+        state = ambientState();
+    GSP_ASSERT(state.temps_k.size() == _n,
+               "thermal state does not match network");
+    if (dt_s <= 0.0)
+        return;
+
+    double dt_max = maxStableDt();
+    double steps_needed = dt_s / dt_max;
+    if (steps_needed > static_cast<double>(max_substeps)) {
+        // The span dwarfs every time constant: the trajectory has
+        // long since settled at the fixed-power steady solution.
+        std::vector<double> nodes = solveLinear(powers_w);
+        for (std::size_t i = 0; i < _n; ++i)
+            state.temps_k[i] = std::min(nodes[i], runaway_cap_k);
+        return;
+    }
+
+    unsigned steps =
+        std::max(1u, static_cast<unsigned>(std::ceil(steps_needed)));
+    double h = dt_s / steps;
+    std::vector<double> next(_n, 0.0);
+    for (unsigned s = 0; s < steps; ++s) {
+        for (std::size_t i = 0; i < _n; ++i) {
+            double flow =
+                (i < powers_w.size() ? powers_w[i] : 0.0) +
+                _g_amb[i] * (_ambient_k - state.temps_k[i]);
+            for (std::size_t j = 0; j < _n; ++j)
+                if (j != i)
+                    flow += conductance(i, j) *
+                            (state.temps_k[j] - state.temps_k[i]);
+            next[i] = std::min(state.temps_k[i] + h * flow / _c[i],
+                               runaway_cap_k);
+        }
+        state.temps_k.swap(next);
+    }
+}
+
+} // namespace thermal
+} // namespace gpusimpow

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Closed-loop thermal subsystem: a compact RC thermal network in the
+ * HotSpot tradition. The die is partitioned into coarse blocks (one
+ * per core cluster, plus the shared L2 and the uncore controllers),
+ * each coupled vertically through the package to a lumped heatsink
+ * node and laterally to its die neighbors; the external GDDR5 devices
+ * form a separate board-level block with their own path to ambient.
+ *
+ * Two solvers close the power-temperature loop:
+ *  - solveSteady(): fixed-point iteration power -> temperature ->
+ *    (tempLeakFactor-scaled) leakage -> power for whole-kernel
+ *    reports, with thermal-runaway detection;
+ *  - advance(): a transient forward integrator driven by the sampled
+ *    power waveform, producing a per-block temperature waveform.
+ *
+ * Temperature becomes a simulated *output* instead of the static
+ * config constant, which is what lets leakage-temperature compounding
+ * and DVFS thermal throttling be studied at all.
+ */
+
+#ifndef GPUSIMPOW_THERMAL_THERMAL_HH
+#define GPUSIMPOW_THERMAL_THERMAL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+
+struct ThermalConfig;
+
+namespace thermal {
+
+/**
+ * The coarse block decomposition shared by the power and thermal
+ * layers: block powers, areas, and temperatures are always vectors in
+ * this fixed order:
+ *
+ *   [cluster0 .. clusterN-1] [l2 (only when present)] [uncore] [dram]
+ *
+ * The die blocks (everything before dram) sit under the heatsink; the
+ * DRAM devices are off-package with their own path to ambient.
+ */
+struct BlockSet
+{
+    /** Display names, e.g. "cluster0", "l2", "uncore", "dram". */
+    std::vector<std::string> names;
+    /** Die area per block, mm^2 (the dram entry is board-level and
+     *  unused by the vertical-resistance sizing). */
+    std::vector<double> area_mm2;
+    /** Core clusters in the decomposition. */
+    std::size_t num_clusters = 0;
+    /** True when a shared-L2 block is present. */
+    bool has_l2 = false;
+
+    std::size_t size() const { return names.size(); }
+    /** Die blocks (all but the off-package dram block). */
+    std::size_t numDie() const { return size() - 1; }
+    std::size_t l2Index() const { return num_clusters; }
+    std::size_t uncoreIndex() const
+    {
+        return num_clusters + (has_l2 ? 1 : 0);
+    }
+    std::size_t dramIndex() const { return uncoreIndex() + 1; }
+};
+
+/** Outcome of a steady-state (fixed-point) solve. */
+struct SteadyResult
+{
+    /** Solved block temperatures, K (BlockSet order). */
+    std::vector<double> temps_k;
+    /** Heatsink node temperature, K. */
+    double heatsink_k = 0.0;
+    /** Fixed-point iterations performed. */
+    unsigned iterations = 0;
+    /**
+     * False when the leakage-temperature loop diverged (thermal
+     * runaway): temperatures are then clamped at runaway_cap_k and
+     * the reported power is a lower bound on the physical disaster.
+     */
+    bool converged = false;
+
+    /** Hottest block temperature, K. */
+    double maxTemp() const;
+    /** Index of the hottest block. */
+    std::size_t hottestBlock() const;
+};
+
+/**
+ * The RC network itself. Node order: die blocks, the dram block, and
+ * one lumped heatsink node; ambient is a fixed-temperature boundary.
+ * Construction is cheap (a handful of conductances); solving is a
+ * dense Gaussian elimination over <= ~20 nodes.
+ */
+class ThermalNetwork
+{
+  public:
+    /**
+     * @param blocks die/board decomposition (names + areas)
+     * @param tc cooling parameters; tc.r_heatsink_k_per_w <= 0
+     *        auto-sizes the heatsink to the die area (stock area
+     *        law x tc.cooling_scale)
+     */
+    ThermalNetwork(const BlockSet &blocks, const ThermalConfig &tc);
+
+    const BlockSet &blocks() const { return _blocks; }
+    /** Ambient (boundary) temperature, K. */
+    double ambient() const { return _ambient_k; }
+    /** Effective heatsink-to-ambient resistance in use, K/W. */
+    double heatsinkResistance() const { return 1.0 / _g_amb.back(); }
+
+    /**
+     * Temperatures for one fixed power assignment (no leakage
+     * feedback): solve G*T = P with the ambient boundary folded in.
+     * @param powers_w heat per block, W (BlockSet order)
+     * @return node temperatures: blocks then heatsink (size()+1)
+     */
+    std::vector<double>
+    solveLinear(const std::vector<double> &powers_w) const;
+
+    /**
+     * Closed-loop steady state: iterate temperature -> power until
+     * the hottest block moves < tol_k between iterations.
+     * @param power_at callback mapping block temperatures (BlockSet
+     *        order) to block powers, W — this is where the caller
+     *        applies tempLeakFactor to the leakage share
+     */
+    SteadyResult
+    solveSteady(const std::function<std::vector<double>(
+                    const std::vector<double> &)> &power_at) const;
+
+    /** Transient node state: block temperatures plus heatsink, K. */
+    struct State
+    {
+        std::vector<double> temps_k; // blocks then heatsink
+        bool initialized = false;
+    };
+
+    /** Every node at ambient (cold start). */
+    State ambientState() const;
+
+    /**
+     * Integrate the network forward by dt_s under constant block
+     * powers, substepping internally for forward-Euler stability.
+     * Spans much longer than the slowest time constant snap to the
+     * fixed-power steady solution instead of wasting substeps.
+     */
+    void advance(State &state, const std::vector<double> &powers_w,
+                 double dt_s) const;
+
+    /** Largest externally meaningful Euler step, s. */
+    double maxStableDt() const;
+
+    /** Temperatures above this clamp as diverged (thermal runaway). */
+    static constexpr double runaway_cap_k = 500.0;
+
+  private:
+    BlockSet _blocks;
+    double _ambient_k;
+    std::size_t _n; // block nodes + heatsink
+    /** Symmetric node-to-node conductances, W/K (dense, row-major). */
+    std::vector<double> _g;
+    /** Per-node conductance to the ambient boundary, W/K. */
+    std::vector<double> _g_amb;
+    /** Per-node heat capacitance, J/K. */
+    std::vector<double> _c;
+
+    double conductance(std::size_t a, std::size_t b) const
+    {
+        return _g[a * _n + b];
+    }
+    void setConductance(std::size_t a, std::size_t b, double g);
+};
+
+/**
+ * Stock-cooler area law: heatsink-to-ambient resistance of the
+ * cooler a card of this die size ships with, K/W. Larger dies ship
+ * disproportionately beefier coolers (vapor chambers, more heatpipes),
+ * hence the superlinear area exponent. Calibrated so the steady-state
+ * solve lands at the nominal 350 K junction temperature on both
+ * Table II anchor configurations running blackscholes.
+ */
+double stockHeatsinkResistance(double die_area_mm2);
+
+} // namespace thermal
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_THERMAL_THERMAL_HH

@@ -109,6 +109,28 @@ TEST(GpuConfig, ValidationCatchesBadGeometry)
     EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
 }
 
+TEST(GpuConfig, ValidationCatchesNonPhysicalTemperature)
+{
+    // A temperature of 0 K (or below, or far above any silicon
+    // rating) would silently feed pow(2, dT/20) garbage into every
+    // leakage figure; validate() must reject it loudly instead.
+    GpuConfig c = GpuConfig::gt240();
+    c.tech.temperature = 0.0;
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.tech.temperature = -273.0;
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.tech.temperature = 500.1;
+    EXPECT_THROW(GpuConfig::fromXml(c.toXml()), FatalError);
+
+    c = GpuConfig::gt240();
+    c.tech.temperature = 400.0; // hot but representable
+    EXPECT_NO_THROW(GpuConfig::fromXml(c.toXml()));
+}
+
 TEST(GpuConfig, LOneDSplitDerived)
 {
     GpuConfig c = GpuConfig::gtx580();

@@ -278,6 +278,46 @@ TEST(Engine, SimulatorReuseIsBitIdenticalToRebuildPerScenario)
     }
 }
 
+TEST(Engine, SimulatorReuseIsBitIdenticalWithThermalAndThrottling)
+{
+    // Thermal state (carried transient temperatures, a live
+    // throttling clamp) is exactly the kind of hidden per-Simulator
+    // state that could leak across recycled scenarios. A reuse sweep
+    // over throttling scenarios must stay bit-identical to
+    // rebuilding per scenario.
+    SweepSpec spec;
+    GpuConfig cfg = GpuConfig::gtx580();
+    cfg.thermal.throttle = true;
+    spec.configs = {cfg};
+    spec.coolings = {"constrained"};
+    spec.workloads = {"matmul", "vectoradd", "matmul"};
+
+    EngineOptions reuse_opt;
+    reuse_opt.jobs = 1; // one worker recycles through all three
+    reuse_opt.reuse_simulators = true;
+    EngineOptions rebuild_opt = reuse_opt;
+    rebuild_opt.reuse_simulators = false;
+
+    SweepResult reused = SimulationEngine(reuse_opt).run(spec);
+    SweepResult rebuilt = SimulationEngine(rebuild_opt).run(spec);
+    ASSERT_EQ(reused.size(), rebuilt.size());
+    bool any_throttled = false;
+    for (std::size_t i = 0; i < reused.size(); ++i) {
+        const ScenarioResult &a = reused.at(i);
+        const ScenarioResult &b = rebuilt.at(i);
+        EXPECT_EQ(a.time_s, b.time_s) << a.scenario.label;
+        EXPECT_EQ(a.energy_j, b.energy_j) << a.scenario.label;
+        EXPECT_EQ(a.t_max_k, b.t_max_k) << a.scenario.label;
+        EXPECT_EQ(a.min_freq_scale, b.min_freq_scale)
+            << a.scenario.label;
+        EXPECT_EQ(a.throttled, b.throttled) << a.scenario.label;
+        any_throttled |= a.throttled;
+    }
+    // The sweep must actually exercise the clamp for the hygiene
+    // check to mean anything.
+    EXPECT_TRUE(any_throttled);
+}
+
 TEST(Engine, ReuseRecoversAfterAFailedScenario)
 {
     // The failing scenario sits between two good ones that share its
