@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares benchmark-result JSON files (Google-Benchmark format, or the
+compatible format bench_sweep_throughput emits) against the committed
+bench/baseline.json and fails when any gated metric regresses past
+its tolerance.
+
+Baseline format:
+
+    {
+      "tolerance": 0.15,
+      "metrics": {
+        "<benchmark name>:<metric>": {
+          "baseline": <number>,
+          "higher_is_better": true|false,
+          "tolerance": <optional per-metric override>
+        }
+      }
+    }
+
+Throughput-style metrics ("higher_is_better": true) fail when the
+current value drops below baseline * (1 - tolerance); latency-style
+metrics fail when it rises above baseline * (1 + tolerance).
+
+Baselines for absolute times/throughputs are deliberately slack
+(CI runner hardware varies); they catch order-of-magnitude
+regressions. Ratio metrics (memo_sweep/speedup) are close to
+machine-independent and carry tight baselines — the 15% default
+tolerance is the contract the ISSUE's CI satellite names.
+
+Usage:
+    check_bench_regression.py --baseline bench/baseline.json \
+        BENCH_sweep.json [BENCH_sim.json ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def collect_metrics(paths):
+    """Flatten every numeric field of every benchmark entry into a
+    "name:metric" -> value map."""
+    metrics = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for entry in data.get("benchmarks", []):
+            name = entry.get("name")
+            if not name:
+                continue
+            for key, value in entry.items():
+                if key == "name":
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    metrics[f"{name}:{key}"] = float(value)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("current", nargs="+",
+                        help="benchmark result JSON files")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    default_tol = float(baseline.get("tolerance", 0.15))
+    gated = baseline.get("metrics", {})
+    if not gated:
+        print("error: baseline defines no gated metrics",
+              file=sys.stderr)
+        return 2
+
+    current = collect_metrics(args.current)
+
+    failures = []
+    width = max(len(k) for k in gated)
+    print(f"{'metric':<{width}} {'baseline':>14} {'current':>14} "
+          f"{'bound':>14}  verdict")
+    for key in sorted(gated):
+        spec = gated[key]
+        base = float(spec["baseline"])
+        higher = bool(spec.get("higher_is_better", True))
+        tol = float(spec.get("tolerance", default_tol))
+        value = current.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from current results")
+            print(f"{key:<{width}} {base:>14.4g} {'MISSING':>14}")
+            continue
+        bound = base * (1 - tol) if higher else base * (1 + tol)
+        ok = value >= bound if higher else value <= bound
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{key:<{width}} {base:>14.4g} {value:>14.4g} "
+              f"{bound:>14.4g}  {verdict}")
+        if not ok:
+            direction = "below" if higher else "above"
+            failures.append(
+                f"{key}: {value:.4g} is {direction} the "
+                f"{tol:.0%}-tolerance bound {bound:.4g} "
+                f"(baseline {base:.4g})")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed "
+          f"({len(gated)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <istream>
 
 #include "common/logging.hh"
 
@@ -94,6 +95,53 @@ parseBool(const std::string &s, const std::string &context)
     if (t == "false" || t == "0")
         return false;
     fatal("cannot parse boolean '", s, "' (", context, ")");
+}
+
+std::string
+readToken(std::istream &in, const std::string &context)
+{
+    std::string tok;
+    if (!(in >> tok))
+        fatal("truncated record: expected ", context);
+    return tok;
+}
+
+void
+expectToken(std::istream &in, const std::string &keyword)
+{
+    std::string tok = readToken(in, "'" + keyword + "'");
+    if (tok != keyword)
+        fatal("malformed record: expected '", keyword, "', got '", tok,
+              "'");
+}
+
+uint64_t
+readU64Token(std::istream &in, const std::string &context)
+{
+    std::string tok = readToken(in, context);
+    // strtoull silently wraps negative input ("-1" becomes 2^64-1);
+    // that is exactly the unsigned-wrap bug class the CLI parsers
+    // reject, so refuse anything but plain digits up front.
+    if (tok.empty() || tok.find_first_not_of("0123456789") !=
+                           std::string::npos)
+        fatal("malformed record: bad ", context, " '", tok, "'");
+    char *end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("malformed record: bad ", context, " '", tok, "'");
+    return v;
+}
+
+double
+readDoubleToken(std::istream &in, const std::string &context)
+{
+    std::string tok = readToken(in, context);
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0')
+        fatal("malformed record: bad ", context, " '", tok, "'");
+    return v;
 }
 
 std::string

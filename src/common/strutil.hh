@@ -8,6 +8,8 @@
 #ifndef GPUSIMPOW_COMMON_STRUTIL_HH
 #define GPUSIMPOW_COMMON_STRUTIL_HH
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,26 @@ bool parseBool(const std::string &s, const std::string &context);
 /** printf-style formatting into a std::string. */
 std::string strformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+// Stream-token parsing for the stable text serializations (activity
+// records, scenario snapshots): whitespace-delimited tokens, fatal()
+// with context on truncation or malformed values.
+
+/** Read one token; fatal() with context at end of input. */
+std::string readToken(std::istream &in, const std::string &context);
+
+/** Read a literal keyword token; fatal() on mismatch. */
+void expectToken(std::istream &in, const std::string &keyword);
+
+/** Read an unsigned 64-bit decimal token; fatal() with context. */
+uint64_t readU64Token(std::istream &in, const std::string &context);
+
+/**
+ * Read a floating-point token; fatal() with context. Accepts C99 hex
+ * floats, so values written with strformat("%a", v) round-trip
+ * bit-exactly — the foundation of bit-identical snapshot replay.
+ */
+double readDoubleToken(std::istream &in, const std::string &context);
 
 } // namespace gpusimpow
 

@@ -1,8 +1,12 @@
 #include "perf/activity.hh"
 
+#include <cstdlib>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace gpusimpow {
 namespace perf {
@@ -65,6 +69,76 @@ ChipActivity::diff(const ChipActivity &prev) const
     r.shader_cycles = shader_cycles - prev.shader_cycles;
     r.elapsed_s = elapsed_s - prev.elapsed_s;
     return r;
+}
+
+void
+ChipActivity::serialize(std::ostream &out) const
+{
+    out << "chip-activity " << cores.size() << ' '
+        << cluster_busy_cycles.size() << ' ' << core_activity_fields
+        << ' ' << mem_activity_fields << '\n';
+    for (const CoreActivity &c : cores) {
+        out << "core";
+        c.forEach([&](const char *, uint64_t v) { out << ' ' << v; });
+        out << '\n';
+    }
+    out << "mem";
+    mem.forEach([&](const char *, uint64_t v) { out << ' ' << v; });
+    out << '\n';
+    out << "clusters";
+    for (uint64_t v : cluster_busy_cycles)
+        out << ' ' << v;
+    out << '\n';
+    out << "totals " << gpu_busy_cycles << ' ' << blocks_dispatched
+        << ' ' << shader_cycles << ' ' << strformat("%a", elapsed_s)
+        << '\n';
+}
+
+ChipActivity
+ChipActivity::parse(std::istream &in)
+{
+    // Counts size containers, so a corrupted record must fail with
+    // the malformed-record fatal(), not an uncaught length_error /
+    // bad_alloc out of resize(). No real GPU is within orders of
+    // magnitude of this bound.
+    constexpr uint64_t max_count = 1u << 20;
+    expectToken(in, "chip-activity");
+    uint64_t n_cores = readU64Token(in, "core count");
+    uint64_t n_clusters = readU64Token(in, "cluster count");
+    uint64_t n_core_fields = readU64Token(in, "core field count");
+    uint64_t n_mem_fields = readU64Token(in, "mem field count");
+    if (n_cores > max_count || n_clusters > max_count)
+        fatal("malformed activity record: implausible core/cluster "
+              "count ", n_cores, "/", n_clusters);
+    if (n_core_fields != core_activity_fields ||
+        n_mem_fields != mem_activity_fields)
+        fatal("activity record schema mismatch: record has ",
+              n_core_fields, "/", n_mem_fields,
+              " core/mem counters, this build expects ",
+              core_activity_fields, "/", mem_activity_fields);
+
+    ChipActivity act;
+    act.cores.resize(n_cores);
+    for (CoreActivity &c : act.cores) {
+        expectToken(in, "core");
+#define X(name) c.name = readU64Token(in, #name);
+        GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    }
+    expectToken(in, "mem");
+#define X(name) act.mem.name = readU64Token(in, #name);
+    GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    expectToken(in, "clusters");
+    act.cluster_busy_cycles.resize(n_clusters);
+    for (uint64_t &v : act.cluster_busy_cycles)
+        v = readU64Token(in, "cluster busy cycles");
+    expectToken(in, "totals");
+    act.gpu_busy_cycles = readU64Token(in, "gpu_busy_cycles");
+    act.blocks_dispatched = readU64Token(in, "blocks_dispatched");
+    act.shader_cycles = readU64Token(in, "shader_cycles");
+    act.elapsed_s = readDoubleToken(in, "elapsed_s");
+    return act;
 }
 
 std::string

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -13,6 +17,43 @@
 
 namespace gpusimpow {
 namespace sim {
+
+namespace {
+
+/** Fold one finished kernel into a scenario's running totals —
+ *  shared by the full-simulation and replay paths so their
+ *  accounting cannot drift. */
+void
+accumulateKernel(ScenarioResult &result, const std::string &label,
+                 bool repeatable, KernelRun run)
+{
+    double card_w = run.report.totalPower() + run.report.dram_w;
+    result.time_s += run.perf.time_s;
+    result.energy_j += card_w * run.perf.time_s;
+    if (run.thermal.enabled) {
+        result.thermal = true;
+        result.t_max_k = std::max(result.t_max_k, run.thermal.t_max_k);
+        result.throttled |= run.thermal.throttled;
+        result.thermal_converged &= run.thermal.converged;
+        result.min_freq_scale =
+            std::min(result.min_freq_scale, run.thermal.op.freq_scale);
+    }
+    result.kernels.push_back({label, repeatable, std::move(run)});
+}
+
+/** Power-model-derived scenario summary columns. */
+void
+finalizeScenario(ScenarioResult &result, const Simulator &simulator)
+{
+    result.avg_power_w =
+        result.time_s > 0.0 ? result.energy_j / result.time_s : 0.0;
+    result.static_w = simulator.powerModel().staticPower();
+    result.area_mm2 = simulator.powerModel().area();
+    result.vdd = simulator.powerModel().techNode().vdd;
+    result.shader_hz = result.scenario.config.clocks.shaderHz();
+}
+
+} // namespace
 
 SimulationEngine::SimulationEngine(EngineOptions options)
     : _options(std::move(options))
@@ -36,6 +77,19 @@ ScenarioResult
 SimulationEngine::runScenario(const Scenario &scenario,
                               Simulator &simulator) const
 {
+    return runScenario(scenario, simulator, nullptr);
+}
+
+ScenarioResult
+SimulationEngine::runScenario(const Scenario &scenario,
+                              Simulator &simulator,
+                              ActivitySnapshot *capture) const
+{
+    // A governed scenario cannot be replayed, so capturing one would
+    // only poison the cache; drop the request instead.
+    if (capture && !scenario.replayable())
+        capture = nullptr;
+
     ScenarioResult result;
     result.scenario = scenario;
 
@@ -43,37 +97,64 @@ SimulationEngine::runScenario(const Scenario &scenario,
         workloads::makeWorkload(scenario.workload, scenario.scale);
     auto launches = workload->prepare(simulator.gpu());
 
+    if (capture) {
+        capture->workload = scenario.workload;
+        capture->scale = scenario.scale;
+        capture->with_trace = _options.with_trace;
+        capture->sample_interval_s = _options.sample_interval_s;
+        capture->kernels.reserve(launches.size());
+    }
     result.kernels.reserve(launches.size());
     result.min_freq_scale = scenario.config.clocks.freq_scale;
     for (const workloads::KernelLaunch &kl : launches) {
-        KernelRun run = simulator.runKernel(kl.prog, kl.launch,
-                                            _options.with_trace,
-                                            _options.sample_interval_s,
-                                            kl.repeatable);
-        double card_w = run.report.totalPower() + run.report.dram_w;
-        result.time_s += run.perf.time_s;
-        result.energy_j += card_w * run.perf.time_s;
-        if (run.thermal.enabled) {
-            result.thermal = true;
-            result.t_max_k =
-                std::max(result.t_max_k, run.thermal.t_max_k);
-            result.throttled |= run.thermal.throttled;
-            result.thermal_converged &= run.thermal.converged;
-            result.min_freq_scale = std::min(
-                result.min_freq_scale, run.thermal.op.freq_scale);
+        KernelRun run;
+        if (capture) {
+            // Two-phase explicitly: the captured snapshot feeds the
+            // same replay the cache hits will take, so a memoized
+            // result is bit-identical by construction.
+            KernelSnapshot snap = simulator.capturePerf(
+                kl.prog, kl.launch, _options.with_trace,
+                _options.sample_interval_s);
+            snap.label = kl.label;
+            snap.repeatable = kl.repeatable;
+            run = simulator.replayKernel(snap);
+            capture->kernels.push_back(std::move(snap));
+        } else {
+            run = simulator.runKernel(kl.prog, kl.launch,
+                                      _options.with_trace,
+                                      _options.sample_interval_s,
+                                      kl.repeatable);
         }
-        result.kernels.push_back({kl.label, kl.repeatable,
-                                  std::move(run)});
+        accumulateKernel(result, kl.label, kl.repeatable,
+                         std::move(run));
     }
-    result.avg_power_w =
-        result.time_s > 0.0 ? result.energy_j / result.time_s : 0.0;
-    result.static_w = simulator.powerModel().staticPower();
-    result.area_mm2 = simulator.powerModel().area();
-    result.vdd = simulator.powerModel().techNode().vdd;
-    result.shader_hz = scenario.config.clocks.shaderHz();
+    finalizeScenario(result, simulator);
     result.verified = true;
     if (scenario.verify && !result.kernels.empty())
         result.verified = workload->verify(simulator.gpu());
+    if (capture)
+        capture->verified = result.verified;
+    return result;
+}
+
+ScenarioResult
+SimulationEngine::replayScenario(const Scenario &scenario,
+                                 const ActivitySnapshot &snapshot,
+                                 Simulator &simulator) const
+{
+    ScenarioResult result;
+    result.scenario = scenario;
+    result.kernels.reserve(snapshot.kernels.size());
+    result.min_freq_scale = scenario.config.clocks.freq_scale;
+    for (const KernelSnapshot &snap : snapshot.kernels)
+        accumulateKernel(result, snap.label, snap.repeatable,
+                         simulator.replayKernel(snap));
+    finalizeScenario(result, simulator);
+    // Verification reads device memory — a timing-phase output the
+    // snapshot already carries.
+    result.verified = true;
+    if (scenario.verify && !result.kernels.empty())
+        result.verified = snapshot.verified;
     return result;
 }
 
@@ -92,7 +173,20 @@ SimulationEngine::run(const SweepSpec &spec) const
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> replayed{0};
     std::mutex progress_mutex;
+
+    // Cross-worker snapshot cache, scoped to this run (engine options
+    // are uniform within it, so with_trace/sampling never split the
+    // key). The first scenario of each snapshotKey() publishes its
+    // phase-1 snapshot; everyone after replays it. Two workers racing
+    // on the same key both simulate — wasted work, never wrong — and
+    // the first insert wins. shared_ptr<const> lets replayers read
+    // while the map keeps growing.
+    std::mutex snapshot_mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const ActivitySnapshot>>
+        snapshots;
 
     // First-by-index exception: deterministic regardless of which
     // worker hit it or how completion interleaved.
@@ -122,7 +216,18 @@ SimulationEngine::run(const SweepSpec &spec) const
                 }
             };
             try {
-                ScenarioResult result;
+                // Memoization first: a cache hit skips the timing
+                // run entirely.
+                std::string key;
+                std::shared_ptr<const ActivitySnapshot> snapshot;
+                if (_options.memoize && scenario.replayable()) {
+                    key = scenario.snapshotKey();
+                    std::lock_guard<std::mutex> lock(snapshot_mutex);
+                    auto it = snapshots.find(key);
+                    if (it != snapshots.end())
+                        snapshot = it->second;
+                }
+
                 if (_options.reuse_simulators) {
                     std::string fp = scenario.config.toXml();
                     if (cached && cached_fp == fp) {
@@ -132,9 +237,26 @@ SimulationEngine::run(const SweepSpec &spec) const
                             scenario.config);
                     }
                     cached_fp = std::move(fp);
-                    result = runScenario(scenario, *cached);
                 } else {
-                    result = runScenario(scenario);
+                    cached =
+                        std::make_unique<Simulator>(scenario.config);
+                    cached_fp.clear();
+                }
+
+                ScenarioResult result;
+                if (snapshot) {
+                    result =
+                        replayScenario(scenario, *snapshot, *cached);
+                    replayed.fetch_add(1);
+                } else if (!key.empty()) {
+                    auto captured =
+                        std::make_shared<ActivitySnapshot>();
+                    result = runScenario(scenario, *cached,
+                                         captured.get());
+                    std::lock_guard<std::mutex> lock(snapshot_mutex);
+                    snapshots.emplace(key, std::move(captured));
+                } else {
+                    result = runScenario(scenario, *cached, nullptr);
                 }
                 std::size_t completed = done.fetch_add(1) + 1;
                 table.set(std::move(result));
@@ -167,6 +289,8 @@ SimulationEngine::run(const SweepSpec &spec) const
         for (std::thread &t : pool)
             t.join();
     }
+
+    table.setReplayedScenarios(replayed.load());
 
     if (error)
         std::rethrow_exception(error);

@@ -16,6 +16,13 @@
  * workload-only sweeps build each power model once per worker instead
  * of once per scenario. Device state is reset between scenarios, so
  * reuse is observationally identical to a fresh Simulator.
+ *
+ * On top of that sits the two-phase memoization: the first scenario
+ * of each Scenario::snapshotKey() runs timing and publishes its
+ * ActivitySnapshot into a cross-worker cache; every later scenario
+ * that differs only in power-only axes (process node, vdd_scale,
+ * cooling) replays the power phase from that snapshot — bit-identical
+ * to a full run, minus the entire timing simulation.
  */
 
 #ifndef GPUSIMPOW_SIM_ENGINE_HH
@@ -46,6 +53,18 @@ struct EngineOptions
      * and as an escape hatch.
      */
     bool reuse_simulators = true;
+    /**
+     * Memoize phase-1 activity snapshots across scenarios (and
+     * workers): a scenario whose Scenario::snapshotKey() has already
+     * been simulated in this run replays its power phase from the
+     * cached snapshot instead of re-running timing — the
+     * order-of-magnitude lever on sweeps over the power-only axes
+     * (process node, vdd_scale, cooling). Scenarios under a
+     * throttling governor always fall back to full simulation
+     * (power-to-timing feedback). Results are bit-identical either
+     * way; `gpusimpow --sweep --no-memo` is the CLI escape hatch.
+     */
+    bool memoize = true;
     /**
      * Called after each scenario finishes (from worker threads, but
      * serialized by the engine): finished result, completed count,
@@ -88,6 +107,25 @@ class SimulationEngine
      */
     ScenarioResult runScenario(const Scenario &scenario,
                                Simulator &simulator) const;
+
+    /**
+     * Execute one scenario, additionally capturing its phase-1
+     * activity snapshot for later replay. The scenario must be
+     * replayable(); capture == nullptr behaves like plain
+     * runScenario().
+     */
+    ScenarioResult runScenario(const Scenario &scenario,
+                               Simulator &simulator,
+                               ActivitySnapshot *capture) const;
+
+    /**
+     * Execute one scenario's power phase from a phase-1 snapshot
+     * captured under the same Scenario::snapshotKey() — the
+     * memoized-replay fast path, bit-identical to a full run.
+     */
+    ScenarioResult replayScenario(const Scenario &scenario,
+                                  const ActivitySnapshot &snapshot,
+                                  Simulator &simulator) const;
 
   private:
     EngineOptions _options;

@@ -38,6 +38,12 @@
  *                               x --nodes x --vf on the engine
  *     --jobs N                  sweep worker threads (default: all
  *                               hardware threads)
+ *     --no-memo                 disable two-phase snapshot
+ *                               memoization in --sweep: every
+ *                               scenario re-runs timing even when a
+ *                               cached activity snapshot could
+ *                               replay its power phase (results are
+ *                               bit-identical either way)
  *     --nodes N,M               process nodes (nm) swept in --sweep
  *     --vf V[:F],...            DVFS operating points swept in
  *                               --sweep ("0.9" means V=F=0.9,
@@ -91,6 +97,7 @@ struct Options
     bool list = false;
     bool sweep = false;
     unsigned jobs = 0;
+    bool no_memo = false;
     std::string nodes;
     std::string vf;
 };
@@ -110,8 +117,8 @@ usage()
         "                 [--ambient K] [--t-limit K] [--throttle]\n"
         "                 [--stats] [--static-only] [--dump-config]\n"
         "                 [--list]\n"
-        "                 [--sweep] [--jobs N] [--nodes N,M]\n"
-        "                 [--vf V[:F],...]\n");
+        "                 [--sweep] [--jobs N] [--no-memo]\n"
+        "                 [--nodes N,M] [--vf V[:F],...]\n");
 }
 
 Options
@@ -189,6 +196,8 @@ parseArgs(int argc, char **argv)
             // into billions of workers.
             opt.jobs = parseUnsigned(need_value("--jobs"), "--jobs", 0,
                                      max_jobs);
+        } else if (arg == "--no-memo") {
+            opt.no_memo = true;
         } else if (arg == "--nodes") {
             opt.nodes = need_value("--nodes");
         } else if (arg == "--vf") {
@@ -334,6 +343,7 @@ runSweep(const Options &opt)
 
     sim::EngineOptions eopt;
     eopt.jobs = opt.jobs;
+    eopt.memoize = !opt.no_memo;
     eopt.progress = [](const sim::ScenarioResult &r, std::size_t done,
                        std::size_t total) {
         std::fprintf(stderr, "[%zu/%zu] %s\n", done, total,
@@ -354,6 +364,10 @@ runSweep(const Options &opt)
                 engine.jobs());
 
     sim::SweepResult result = engine.run(spec);
+    // Stats go to stderr so a memoized table diffs clean against a
+    // --no-memo one (the CI smoke check relies on that).
+    std::fprintf(stderr, "memoized replay: %zu of %zu scenario(s)\n",
+                 result.replayedScenarios(), result.size());
     std::fputs(result.formatTable().c_str(), stdout);
     std::printf("\ntotal simulated time: %.3f ms\n",
                 result.totalSimulatedTime() * 1e3);
@@ -374,6 +388,8 @@ runTool(const Options &opt)
     // not silently ignored, outside --sweep.
     if (opt.jobs != 0)
         fatal("--jobs requires --sweep");
+    if (opt.no_memo)
+        fatal("--no-memo requires --sweep");
     if (!opt.nodes.empty())
         fatal("--nodes requires --sweep");
     if (!opt.vf.empty())

@@ -87,46 +87,67 @@ Simulator::runKernel(const perf::KernelProgram &prog,
                      const perf::LaunchConfig &launch, bool with_trace,
                      double sample_interval_s, bool repeatable)
 {
-    if (!_cfg.thermal.enabled)
-        return runOnce(prog, launch, with_trace, sample_interval_s);
-    return runThermal(prog, launch, with_trace, sample_interval_s,
-                      repeatable);
+    // The throttling governor is the only power-to-timing feedback in
+    // the simulator; everything else runs the two phases back to
+    // back — which is exactly what makes a memoized replay of the
+    // power phase bit-identical to a full run.
+    if (_cfg.thermal.enabled && _cfg.thermal.throttle)
+        return runThermal(prog, launch, with_trace, sample_interval_s,
+                          repeatable);
+    KernelSnapshot snap =
+        capturePerf(prog, launch, with_trace, sample_interval_s);
+    snap.repeatable = repeatable;
+    return replayKernel(snap);
+}
+
+KernelSnapshot
+Simulator::capturePerf(const perf::KernelProgram &prog,
+                       const perf::LaunchConfig &launch,
+                       bool with_trace, double sample_interval_s)
+{
+    KernelSnapshot snap;
+    snap.with_trace = with_trace;
+    perf::Gpu::SampleFn sampler;
+    if (with_trace) {
+        sampler = [&](const perf::ChipActivity &delta, double t0,
+                      double t1) {
+            snap.samples.push_back({t0, t1, delta});
+        };
+    }
+    snap.perf = _gpu->run(prog, launch, sampler,
+                          with_trace ? sample_interval_s : 0.0);
+    return snap;
 }
 
 KernelRun
-Simulator::runOnce(const perf::KernelProgram &prog,
-                   const perf::LaunchConfig &launch, bool with_trace,
-                   double sample_interval_s)
+Simulator::evaluateSamples(const KernelSnapshot &snap)
 {
     KernelRun run;
+    run.perf = snap.perf;
 
-    perf::Gpu::SampleFn sampler;
     bool thermal_on = _cfg.thermal.enabled;
-    double static_w = thermal_on ? 0.0 : with_trace
-                                             ? _power->staticPower()
-                                             : 0.0;
-    if (with_trace && !thermal_on) {
-        sampler = [&, static_w](const perf::ChipActivity &delta,
-                                double t0, double t1) {
-            power::PowerReport rep = _power->evaluate(delta);
+    if (snap.with_trace && !thermal_on) {
+        double static_w = _power->staticPower();
+        for (const ActivitySample &a : snap.samples) {
+            power::PowerReport rep = _power->evaluate(a.delta);
             PowerSample s;
-            s.t0 = t0;
-            s.t1 = t1;
+            s.t0 = a.t0;
+            s.t1 = a.t1;
             s.dynamic_w = rep.dynamicPower();
             s.static_w = static_w;
             s.dram_w = rep.dram_w;
             run.trace.push_back(s);
-        };
-    } else if (with_trace) {
+        }
+    } else if (snap.with_trace) {
         // Thermal transient path: every sampling interval advances
         // the RC network under that interval's block powers, with
         // the leakage share of the next interval re-evaluated at the
         // current transient temperatures — the feedback loop, sampled.
-        sampler = [&](const perf::ChipActivity &delta, double t0,
-                      double t1) {
-            power::PowerReport rep = _power->evaluate(delta);
+        ensureThermal();
+        for (const ActivitySample &a : snap.samples) {
+            power::PowerReport rep = _power->evaluate(a.delta);
             std::vector<power::BlockPower> bp =
-                _power->blockPowers(rep, delta);
+                _power->blockPowers(rep, a.delta);
             if (!_thermal_state.initialized)
                 _thermal_state = _network->ambientState();
             std::vector<double> powers(bp.size(), 0.0);
@@ -139,28 +160,111 @@ Simulator::runOnce(const perf::KernelProgram &prog,
                 if (i != _blocks.dramIndex())
                     chip_static += leak + bp[i].fixed_w;
             }
-            _network->advance(_thermal_state, powers, t1 - t0);
+            _network->advance(_thermal_state, powers, a.t1 - a.t0);
 
             PowerSample s;
-            s.t0 = t0;
-            s.t1 = t1;
+            s.t0 = a.t0;
+            s.t1 = a.t1;
             s.dynamic_w = rep.dynamicPower();
             s.static_w = chip_static;
             s.dram_w = rep.dram_w;
             run.trace.push_back(s);
 
             ThermalSample ts;
-            ts.t0 = t0;
-            ts.t1 = t1;
+            ts.t0 = a.t0;
+            ts.t1 = a.t1;
             ts.temps_k = _thermal_state.temps_k;
             run.thermal.trace.push_back(ts);
-        };
+        }
     }
 
-    run.perf = _gpu->run(prog, launch, sampler,
-                         with_trace ? sample_interval_s : 0.0);
     run.report = _power->evaluate(run.perf.activity);
     return run;
+}
+
+KernelRun
+Simulator::replayKernel(const KernelSnapshot &snap)
+{
+    if (_cfg.thermal.enabled && _cfg.thermal.throttle)
+        fatal("cannot replay a snapshot under a throttling governor: "
+              "its power-to-clock feedback changes timing; run the "
+              "kernel in full instead");
+    KernelRun run = evaluateSamples(snap);
+    if (!_cfg.thermal.enabled)
+        return run;
+    // Ungoverned thermal: whole-kernel steady solve at the measured
+    // power split, then the shared thermal tail.
+    ensureThermal();
+    std::vector<power::BlockPower> bp =
+        _power->blockPowers(run.report, run.perf.activity);
+    thermal::SteadyResult steady = solveSteady(bp, 1.0);
+    finishThermal(run, bp, steady, snap.with_trace, false);
+    return run;
+}
+
+KernelRun
+Simulator::runOnce(const perf::KernelProgram &prog,
+                   const perf::LaunchConfig &launch, bool with_trace,
+                   double sample_interval_s)
+{
+    return evaluateSamples(
+        capturePerf(prog, launch, with_trace, sample_interval_s));
+}
+
+double
+Simulator::dieMax(const thermal::SteadyResult &steady) const
+{
+    // Die blocks only: the DRAM board block runs from its own supply
+    // and clock (own rating too), so it is excluded from t_max_k and
+    // from the throttling criterion — the core clock cannot cool it.
+    double t = 0.0;
+    for (std::size_t i = 0; i < _blocks.dramIndex(); ++i)
+        t = std::max(t, steady.temps_k[i]);
+    return t;
+}
+
+void
+Simulator::finishThermal(KernelRun &run,
+                         const std::vector<power::BlockPower> &bp,
+                         const thermal::SteadyResult &steady,
+                         bool with_trace, bool throttled)
+{
+    // Whole-kernel energy accounting at the solved temperatures. On
+    // thermal runaway no steady state exists: leakage evaluated at
+    // the 500 K clamp would be ~180x-inflated garbage, so the report
+    // falls back to the nominal junction temperature and the outcome
+    // is flagged through converged == false instead.
+    run.report =
+        steady.converged
+            ? _power->evaluateAt(run.perf.activity, steady.temps_k)
+            : _power->evaluate(run.perf.activity);
+
+    // Without a trace the transient state still has to march through
+    // this kernel's span (sustained-activity history for the next
+    // kernel); with a trace the sampler already did, sample by sample.
+    if (!with_trace) {
+        if (!_thermal_state.initialized)
+            _thermal_state = _network->ambientState();
+        std::vector<double> powers(bp.size(), 0.0);
+        for (std::size_t i = 0; i < bp.size(); ++i)
+            powers[i] = bp[i].dynamic_w +
+                        bp[i].sub_leak_w *
+                            _power->subLeakScaleAt(
+                                _thermal_state.temps_k[i]) +
+                        bp[i].fixed_w;
+        _network->advance(_thermal_state, powers, run.perf.time_s);
+    }
+
+    ThermalResult &th = run.thermal;
+    th.enabled = true;
+    th.converged = steady.converged;
+    th.throttled = throttled;
+    th.iterations = steady.iterations;
+    th.t_max_k = dieMax(steady);
+    th.heatsink_k = steady.heatsink_k;
+    th.op = {_cfg.tech.vdd_scale, _cfg.clocks.freq_scale};
+    th.block_names = _blocks.names;
+    th.block_temps_k = steady.temps_k;
 }
 
 thermal::SteadyResult
@@ -203,17 +307,11 @@ Simulator::runThermal(const perf::KernelProgram &prog,
     thermal::SteadyResult steady = solveSteady(bp, 1.0);
 
     const double limit = _cfg.thermal.t_limit_k;
-    const std::size_t dram = _blocks.dramIndex();
-    // The governor only judges die blocks: the DRAM board block runs
-    // from its own supply and clock (its power split is fixed_w), so
-    // clamping the core clock cannot cool it — including it would
-    // drive the clamp to the floor for a block throttling can't fix.
-    auto dieMax = [&](const thermal::SteadyResult &s) {
-        double t = 0.0;
-        for (std::size_t i = 0; i < dram; ++i)
-            t = std::max(t, s.temps_k[i]);
-        return t;
-    };
+    // The governor only judges die blocks (dieMax): the DRAM board
+    // block runs from its own supply and clock (its power split is
+    // fixed_w), so clamping the core clock cannot cool it — including
+    // it would drive the clamp to the floor for a block throttling
+    // can't fix.
     auto within = [&](const thermal::SteadyResult &s, double slack) {
         return s.converged && dieMax(s) <= limit + slack;
     };
@@ -290,42 +388,7 @@ Simulator::runThermal(const perf::KernelProgram &prog,
         }
     }
 
-    // Whole-kernel energy accounting at the solved temperatures. On
-    // thermal runaway no steady state exists: leakage evaluated at
-    // the 500 K clamp would be ~180x-inflated garbage, so the report
-    // falls back to the nominal junction temperature and the outcome
-    // is flagged through converged == false instead.
-    run.report =
-        steady.converged
-            ? _power->evaluateAt(run.perf.activity, steady.temps_k)
-            : _power->evaluate(run.perf.activity);
-
-    // Without a trace the transient state still has to march through
-    // this kernel's span (sustained-activity history for the next
-    // kernel); with a trace the sampler already did, sample by sample.
-    if (!with_trace) {
-        if (!_thermal_state.initialized)
-            _thermal_state = _network->ambientState();
-        std::vector<double> powers(bp.size(), 0.0);
-        for (std::size_t i = 0; i < bp.size(); ++i)
-            powers[i] = bp[i].dynamic_w +
-                        bp[i].sub_leak_w *
-                            _power->subLeakScaleAt(
-                                _thermal_state.temps_k[i]) +
-                        bp[i].fixed_w;
-        _network->advance(_thermal_state, powers, run.perf.time_s);
-    }
-
-    ThermalResult &th = run.thermal;
-    th.enabled = true;
-    th.converged = steady.converged;
-    th.throttled = throttled;
-    th.iterations = steady.iterations;
-    th.t_max_k = dieMax(steady);
-    th.heatsink_k = steady.heatsink_k;
-    th.op = {_cfg.tech.vdd_scale, _cfg.clocks.freq_scale};
-    th.block_names = _blocks.names;
-    th.block_temps_k = steady.temps_k;
+    finishThermal(run, bp, steady, with_trace, throttled);
     return run;
 }
 

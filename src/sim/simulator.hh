@@ -25,6 +25,7 @@
 #include "perf/gpu.hh"
 #include "perf/kernel.hh"
 #include "power/chip_power.hh"
+#include "sim/snapshot.hh"
 #include "thermal/thermal.hh"
 
 namespace gpusimpow {
@@ -146,6 +147,31 @@ class Simulator
                         bool repeatable = true);
 
     /**
+     * Phase 1 of the two-phase flow: run the kernel on the
+     * performance simulator only, capturing every counter the power
+     * and thermal phases consume — the whole-kernel activity, timing,
+     * and (when with_trace is set) the per-interval activity deltas
+     * behind power traces. No power is evaluated.
+     */
+    KernelSnapshot capturePerf(const perf::KernelProgram &prog,
+                               const perf::LaunchConfig &launch,
+                               bool with_trace = false,
+                               double sample_interval_s = 20e-6);
+
+    /**
+     * Phase 2: evaluate power (and thermal behavior, when enabled)
+     * from a phase-1 snapshot instead of running timing. For any
+     * configuration sharing the snapshot's timing fingerprint
+     * (sim::timingFingerprint) the result is bit-identical to
+     * runKernel() — the power-only axes (process node, supply scale,
+     * cooling solution) may differ freely between capture and replay.
+     * fatal() on throttle-governed configurations: the governor's
+     * power-to-clock feedback changes timing, which a replay cannot
+     * reproduce; run those kernels in full.
+     */
+    KernelRun replayKernel(const KernelSnapshot &snap);
+
+    /**
      * Reset device-visible state so the next workload runs exactly as
      * it would on a freshly constructed Simulator, without rebuilding
      * the (expensive) power model. Restores the configured operating
@@ -173,12 +199,25 @@ class Simulator
 
     void ensureThermal();
     void applyFreqScale(double freq_scale);
+    /** Evaluate the per-interval power (and, with thermal on, march
+     *  the transient state) over a snapshot's samples, plus the
+     *  whole-kernel nominal-temperature report. */
+    KernelRun evaluateSamples(const KernelSnapshot &snap);
     KernelRun runOnce(const perf::KernelProgram &prog,
                       const perf::LaunchConfig &launch,
                       bool with_trace, double sample_interval_s);
     thermal::SteadyResult
     solveSteady(const std::vector<power::BlockPower> &bp,
                 double freq_ratio) const;
+    /** Hottest steady-state die-block temperature (DRAM excluded). */
+    double dieMax(const thermal::SteadyResult &steady) const;
+    /** Shared tail of every thermal kernel: re-evaluate the report at
+     *  the solved temperatures, march the transient state when no
+     *  trace already did, and fill the ThermalResult. */
+    void finishThermal(KernelRun &run,
+                       const std::vector<power::BlockPower> &bp,
+                       const thermal::SteadyResult &steady,
+                       bool with_trace, bool throttled);
     KernelRun runThermal(const perf::KernelProgram &prog,
                          const perf::LaunchConfig &launch,
                          bool with_trace, double sample_interval_s,

@@ -1,0 +1,143 @@
+#include "sim/snapshot.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace gpusimpow {
+
+namespace {
+
+/** Format-compatibility tag; bump on any layout change. */
+constexpr const char *snapshot_magic = "gpusimpow-activity-snapshot";
+constexpr unsigned snapshot_version = 1;
+
+/** Sanity bound on serialized counts (kernels, samples): keeps a
+ *  corrupted record inside the malformed-record fatal() contract
+ *  instead of feeding reserve() an absurd size. */
+constexpr uint64_t max_record_count = 1u << 20;
+
+uint64_t
+readCount(std::istream &in, const char *context)
+{
+    uint64_t n = readU64Token(in, context);
+    if (n > max_record_count)
+        fatal("malformed record: implausible ", context, " ", n);
+    return n;
+}
+
+/** Labels are serialized as the remainder of their line, so kernel
+ *  names with unusual characters survive unharmed. */
+std::string
+readLabelLine(std::istream &in)
+{
+    std::string rest;
+    std::getline(in, rest);
+    return trim(rest);
+}
+
+void
+serializeSample(std::ostream &out, const ActivitySample &s)
+{
+    out << "sample " << strformat("%a %a", s.t0, s.t1) << '\n';
+    s.delta.serialize(out);
+}
+
+ActivitySample
+parseSample(std::istream &in)
+{
+    ActivitySample s;
+    expectToken(in, "sample");
+    s.t0 = readDoubleToken(in, "sample t0");
+    s.t1 = readDoubleToken(in, "sample t1");
+    s.delta = perf::ChipActivity::parse(in);
+    return s;
+}
+
+void
+serializeKernel(std::ostream &out, const KernelSnapshot &k)
+{
+    out << "kernel " << k.label << '\n';
+    out << "flags " << (k.repeatable ? 1 : 0) << ' '
+        << (k.with_trace ? 1 : 0) << '\n';
+    out << "perf " << k.perf.cycles << ' ' << k.perf.instructions
+        << ' ' << strformat("%a", k.perf.time_s) << '\n';
+    k.perf.activity.serialize(out);
+    out << "samples " << k.samples.size() << '\n';
+    for (const ActivitySample &s : k.samples)
+        serializeSample(out, s);
+}
+
+KernelSnapshot
+parseKernel(std::istream &in)
+{
+    KernelSnapshot k;
+    expectToken(in, "kernel");
+    k.label = readLabelLine(in);
+    expectToken(in, "flags");
+    k.repeatable = readU64Token(in, "repeatable flag") != 0;
+    k.with_trace = readU64Token(in, "with_trace flag") != 0;
+    expectToken(in, "perf");
+    k.perf.cycles = readU64Token(in, "cycles");
+    k.perf.instructions = readU64Token(in, "instructions");
+    k.perf.time_s = readDoubleToken(in, "time_s");
+    k.perf.activity = perf::ChipActivity::parse(in);
+    expectToken(in, "samples");
+    uint64_t n_samples = readCount(in, "sample count");
+    k.samples.reserve(n_samples);
+    for (uint64_t i = 0; i < n_samples; ++i)
+        k.samples.push_back(parseSample(in));
+    return k;
+}
+
+} // namespace
+
+std::string
+ActivitySnapshot::serialize() const
+{
+    std::ostringstream out;
+    out << snapshot_magic << " v" << snapshot_version << '\n';
+    out << "workload " << workload << '\n';
+    out << "scale " << scale << '\n';
+    out << "with_trace " << (with_trace ? 1 : 0) << '\n';
+    out << "sample_interval_s " << strformat("%a", sample_interval_s)
+        << '\n';
+    out << "verified " << (verified ? 1 : 0) << '\n';
+    out << "kernels " << kernels.size() << '\n';
+    for (const KernelSnapshot &k : kernels)
+        serializeKernel(out, k);
+    return out.str();
+}
+
+ActivitySnapshot
+ActivitySnapshot::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    expectToken(in, snapshot_magic);
+    std::string version = readToken(in, "snapshot version");
+    std::string expected = "v" + std::to_string(snapshot_version);
+    if (version != expected)
+        fatal("unsupported snapshot version '", version,
+              "' (this build reads ", expected, ")");
+
+    ActivitySnapshot snap;
+    expectToken(in, "workload");
+    snap.workload = readLabelLine(in);
+    expectToken(in, "scale");
+    snap.scale = static_cast<unsigned>(readU64Token(in, "scale"));
+    expectToken(in, "with_trace");
+    snap.with_trace = readU64Token(in, "with_trace flag") != 0;
+    expectToken(in, "sample_interval_s");
+    snap.sample_interval_s = readDoubleToken(in, "sample_interval_s");
+    expectToken(in, "verified");
+    snap.verified = readU64Token(in, "verified flag") != 0;
+    expectToken(in, "kernels");
+    uint64_t n_kernels = readCount(in, "kernel count");
+    snap.kernels.reserve(n_kernels);
+    for (uint64_t i = 0; i < n_kernels; ++i)
+        snap.kernels.push_back(parseKernel(in));
+    return snap;
+}
+
+} // namespace gpusimpow

@@ -8,6 +8,46 @@
 namespace gpusimpow {
 namespace sim {
 
+bool
+Scenario::replayable() const
+{
+    return !(config.thermal.enabled && config.thermal.throttle);
+}
+
+std::string
+Scenario::snapshotKey() const
+{
+    return timingFingerprint(config) +
+           strformat("#workload=%s scale=%u verify=%d",
+                     workload.c_str(), scale, verify ? 1 : 0);
+}
+
+std::string
+timingFingerprint(const GpuConfig &cfg)
+{
+    GpuConfig t = cfg;
+    // Pin everything the performance simulator never reads to fixed
+    // values so it cannot split the key. The perf side consumes the
+    // chip organization, clocks (freq_scale included — it shifts the
+    // DRAM-to-uncore cycle ratio), core/cache/NoC geometry, and the
+    // DRAM geometry/timing fields; it never touches the process
+    // node, supplies, calibration energies, thermal boundary, or
+    // PCIe/DRAM electricals — those only turn counters into watts.
+    t.name.clear();
+    t.chip.clear();
+    t.tech = TechConfig{};
+    t.thermal = ThermalConfig{};
+    t.calib = PowerCalibConfig{};
+    t.pcie = PcieConfig{};
+    DramConfig dram;
+    dram.channels = cfg.dram.channels;
+    dram.channel_bits = cfg.dram.channel_bits;
+    dram.burst_length = cfg.dram.burst_length;
+    dram.latency = cfg.dram.latency;
+    t.dram = dram;
+    return t.toXml();
+}
+
 std::size_t
 SweepSpec::size() const
 {
@@ -113,6 +153,20 @@ SweepResult::at(std::size_t index) const
     GSP_ASSERT(index < _rows.size(),
                "scenario index ", index, " out of range ", _rows.size());
     return _rows[index];
+}
+
+std::size_t
+SweepResult::replayedScenarios() const
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    return _replayed;
+}
+
+void
+SweepResult::setReplayedScenarios(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    _replayed = n;
 }
 
 double

@@ -42,7 +42,37 @@ struct Scenario
     bool verify = true;
     /** Human-readable tag, e.g. "GeForce GT240/40nm/matmul". */
     std::string label;
+
+    /**
+     * True when this scenario's power phase can be replayed from an
+     * activity snapshot captured by any scenario with the same
+     * snapshotKey(). The throttling governor is the simulator's only
+     * power-to-timing feedback, so everything else qualifies.
+     */
+    bool replayable() const;
+
+    /**
+     * Key of the engine's cross-worker snapshot cache: the timing
+     * fingerprint of the configuration plus the workload identity
+     * (name, scale, verify). Two scenarios with equal keys produce
+     * bit-identical phase-1 results, whatever their process node,
+     * supply scale, or cooling solution.
+     */
+    std::string snapshotKey() const;
 };
+
+/**
+ * Serialized form of the timing-relevant half of a configuration:
+ * the XML fingerprint with every power-only section pinned to fixed
+ * values — identity strings, the tech section (node and supply scale
+ * energies, not cycles), the thermal section (without the governor,
+ * temperature is an output), the empirical calibration constants,
+ * PCIe electricals, and the electrical half of the DRAM section (the
+ * performance simulator reads only its geometry/timing fields).
+ * Configurations with equal fingerprints are cycle-for-cycle,
+ * counter-for-counter interchangeable to the performance simulator.
+ */
+std::string timingFingerprint(const GpuConfig &cfg);
 
 /**
  * Declarative description of a batch experiment: every config is
@@ -175,10 +205,17 @@ class SweepResult
     /** Render an aligned summary table (one line per scenario). */
     std::string formatTable() const;
 
+    /** Scenarios whose power phase was replayed from a memoized
+     *  activity snapshot (0 when memoization was off). Set by the
+     *  engine once the run has drained. */
+    std::size_t replayedScenarios() const;
+    void setReplayedScenarios(std::size_t n);
+
   private:
     /** unique_ptr keeps SweepResult movable despite the mutex. */
     std::unique_ptr<std::mutex> _mutex;
     std::vector<ScenarioResult> _rows;
+    std::size_t _replayed = 0;
 };
 
 } // namespace sim
