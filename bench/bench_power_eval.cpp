@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Per-interval power-evaluation throughput: the compiled flat
+ * evaluator (power/compiled.hh) against the legacy tree path that
+ * built a hierarchical PowerReport per interval and walked it with
+ * string-path lookups for the thermal block split. The workload is a
+ * traced thermal run (GTX580, blackscholes, stock cooling): its
+ * sampled activity deltas are exactly what the transient thermal
+ * loop evaluates per interval, thousands of times per kernel.
+ *
+ * Both paths must agree bit-for-bit on chip totals and block splits
+ * (the bench fatals otherwise), so the speedup is measured on proven-
+ * equivalent work.
+ *
+ * With --benchmark_format=json the measurements are emitted to
+ * stdout as Google-Benchmark-style JSON (human output moves to
+ * stderr) for the CI regression gate; see
+ * bench/check_bench_regression.py and bench/baseline.json
+ * (power_eval/* metrics, acceptance floor: compiled >= 5x tree).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "perf/activity.hh"
+#include "power/chip_power.hh"
+#include "power/compiled.hh"
+#include "sim/simulator.hh"
+#include "tests/power_tree_reference.hh"
+#include "workloads/workload.hh"
+
+using namespace gpusimpow;
+using power::BlockPower;
+using power::CompiledPowerModel;
+using power::GpuPowerModel;
+using power::PowerReport;
+
+namespace {
+
+/** Trace sampling period: fine-grained, the regime the motivation
+ *  papers call out as dominated by per-sample model cost. */
+constexpr double sample_interval_s = 0.5e-6;
+/** Minimum measured wall time per path, s. */
+constexpr double min_measure_s = 0.4;
+
+struct PathResult
+{
+    double intervals_per_s = 0.0;
+    double dynamic_sum = 0.0;
+    std::vector<BlockPower> last_blocks;
+};
+
+template <typename EvalFn>
+PathResult
+measure(const std::vector<ActivitySample> &samples, EvalFn &&eval)
+{
+    // Warm-up pass (also produces the cross-check values).
+    PathResult out;
+    out.dynamic_sum = 0.0;
+    for (const ActivitySample &a : samples)
+        out.dynamic_sum += eval(a, &out.last_blocks);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t evaluated = 0;
+    double elapsed = 0.0;
+    do {
+        for (const ActivitySample &a : samples)
+            eval(a, nullptr);
+        evaluated += samples.size();
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    } while (elapsed < min_measure_s);
+    out.intervals_per_s = evaluated / elapsed;
+    return out;
+}
+
+int
+runBench(FILE *out, bool json)
+{
+    // Traced thermal scenario: GTX580 running blackscholes (scale 8,
+    // ~100 sampling intervals) under the stock cooler.
+    GpuConfig cfg = GpuConfig::gtx580();
+    cfg.thermal.applyCooling("stock");
+    Simulator sim(cfg);
+    auto workload = workloads::makeWorkload("blackscholes", 8);
+    auto launches = workload->prepare(sim.gpu());
+    GSP_ASSERT(!launches.empty(), "workload produced no kernels");
+
+    std::vector<ActivitySample> samples;
+    for (const workloads::KernelLaunch &kl : launches) {
+        KernelSnapshot snap = sim.capturePerf(
+            kl.prog, kl.launch, true, sample_interval_s);
+        samples.insert(samples.end(), snap.samples.begin(),
+                       snap.samples.end());
+    }
+    GSP_ASSERT(samples.size() >= 50,
+               "expected a fine-grained trace, got ",
+               samples.size(), " intervals");
+
+    const GpuPowerModel &model = sim.powerModel();
+    const CompiledPowerModel &cpm = model.compiled();
+
+    std::fprintf(out,
+                 "=== Per-interval power evaluation: tree vs "
+                 "compiled (GTX580 blackscholes, thermal trace, "
+                 "%zu intervals) ===\n", samples.size());
+
+    // Legacy tree path: build the report, walk it for the split
+    // (power::testref::treeBlockPowers, the same reference the
+    // bit-identity suite checks against).
+    PathResult tree = measure(
+        samples, [&](const ActivitySample &a,
+                     std::vector<BlockPower> *blocks_out) {
+            PowerReport rep = model.evaluate(a.delta);
+            std::vector<BlockPower> bp =
+                power::testref::treeBlockPowers(cfg, model, rep,
+                                                a.delta);
+            if (blocks_out)
+                *blocks_out = bp;
+            return rep.dynamicPower();
+        });
+
+    // Compiled path: dot products into a reused workspace.
+    CompiledPowerModel::Eval ev;
+    PathResult compiled = measure(
+        samples, [&](const ActivitySample &a,
+                     std::vector<BlockPower> *blocks_out) {
+            cpm.evaluate(a.delta, ev);
+            if (blocks_out)
+                *blocks_out = ev.blocks;
+            return ev.dynamic_w;
+        });
+
+    // The two paths must agree bit-for-bit before a speedup means
+    // anything.
+    if (tree.dynamic_sum != compiled.dynamic_sum)
+        fatal("tree and compiled chip totals diverged");
+    GSP_ASSERT(tree.last_blocks.size() == compiled.last_blocks.size(),
+               "block split sizes diverged");
+    for (std::size_t b = 0; b < tree.last_blocks.size(); ++b) {
+        if (tree.last_blocks[b].dynamic_w !=
+                compiled.last_blocks[b].dynamic_w ||
+            tree.last_blocks[b].sub_leak_w !=
+                compiled.last_blocks[b].sub_leak_w ||
+            tree.last_blocks[b].fixed_w !=
+                compiled.last_blocks[b].fixed_w)
+            fatal("tree and compiled block splits diverged at block ",
+                  b);
+    }
+
+    double speedup = compiled.intervals_per_s / tree.intervals_per_s;
+    std::fprintf(out, "%10s %18s\n", "path", "intervals/s");
+    std::fprintf(out, "%10s %18.0f\n", "tree", tree.intervals_per_s);
+    std::fprintf(out, "%10s %18.0f\n", "compiled",
+                 compiled.intervals_per_s);
+    std::fprintf(out,
+                 "compiled path: %.1fx the tree path "
+                 "(results bit-identical)\n", speedup);
+
+    if (json) {
+        std::printf("{\n  \"benchmarks\": [\n");
+        std::printf("    {\"name\": \"power_eval/tree\", "
+                    "\"intervals_per_s\": %.17g},\n",
+                    tree.intervals_per_s);
+        std::printf("    {\"name\": \"power_eval/compiled\", "
+                    "\"intervals_per_s\": %.17g},\n",
+                    compiled.intervals_per_s);
+        std::printf("    {\"name\": \"power_eval/speedup\", "
+                    "\"speedup\": %.17g}\n", speedup);
+        std::printf("  ]\n}\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--benchmark_format=json") == 0) {
+            json = true;
+        } else {
+            std::fprintf(stderr, "usage: bench_power_eval "
+                                 "[--benchmark_format=json]\n");
+            return 1;
+        }
+    }
+    try {
+        return runBench(json ? stderr : stdout, json);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

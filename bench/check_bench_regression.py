@@ -32,11 +32,14 @@ tolerance is the contract the ISSUE's CI satellite names.
 Usage:
     check_bench_regression.py --baseline bench/baseline.json \
         BENCH_sweep.json [BENCH_sim.json ...]
+    check_bench_regression.py --self-test
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 def collect_metrics(paths):
@@ -44,9 +47,18 @@ def collect_metrics(paths):
     "name:metric" -> value map."""
     metrics = {}
     for path in paths:
-        with open(path) as f:
-            data = json.load(f)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"error: cannot read benchmark results {path}: {exc}")
+        if not isinstance(data, dict):
+            raise SystemExit(
+                f"error: {path} is not a benchmark-result object")
         for entry in data.get("benchmarks", []):
+            if not isinstance(entry, dict):
+                continue
             name = entry.get("name")
             if not name:
                 continue
@@ -59,16 +71,14 @@ def collect_metrics(paths):
     return metrics
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed baseline JSON")
-    parser.add_argument("current", nargs="+",
-                        help="benchmark result JSON files")
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+def check(baseline_path, current_paths):
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
     default_tol = float(baseline.get("tolerance", 0.15))
     gated = baseline.get("metrics", {})
     if not gated:
@@ -76,7 +86,7 @@ def main():
               file=sys.stderr)
         return 2
 
-    current = collect_metrics(args.current)
+    current = collect_metrics(current_paths)
 
     failures = []
     width = max(len(k) for k in gated)
@@ -84,13 +94,28 @@ def main():
           f"{'bound':>14}  verdict")
     for key in sorted(gated):
         spec = gated[key]
-        base = float(spec["baseline"])
+        if not isinstance(spec, dict) or "baseline" not in spec:
+            print(f"error: baseline entry '{key}' has no 'baseline' "
+                  f"value — fix bench/baseline.json", file=sys.stderr)
+            return 2
+        try:
+            base = float(spec["baseline"])
+        except (TypeError, ValueError):
+            print(f"error: baseline entry '{key}' has a non-numeric "
+                  f"'baseline' value {spec['baseline']!r}",
+                  file=sys.stderr)
+            return 2
         higher = bool(spec.get("higher_is_better", True))
         tol = float(spec.get("tolerance", default_tol))
         value = current.get(key)
         if value is None:
-            failures.append(f"{key}: missing from current results")
-            print(f"{key:<{width}} {base:>14.4g} {'MISSING':>14}")
+            # A gated metric the measured JSON never produced is a
+            # hard failure (the benchmark was renamed, skipped, or
+            # crashed) — report it clearly instead of crashing.
+            failures.append(f"{key}: missing from current results "
+                            "(benchmark renamed, skipped, or failed?)")
+            print(f"{key:<{width}} {base:>14.4g} {'-':>14} "
+                  f"{'-':>14}  MISSING")
             continue
         bound = base * (1 - tol) if higher else base * (1 + tol)
         ok = value >= bound if higher else value <= bound
@@ -112,6 +137,69 @@ def main():
     print("\nbenchmark regression gate passed "
           f"({len(gated)} metrics)")
     return 0
+
+
+def self_test():
+    """Exercise the gate's own failure handling: every scenario must
+    produce a clean verdict and exit code, never a traceback."""
+
+    def run_case(name, baseline_obj, current_obj, expected_rc):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_path = os.path.join(tmp, "baseline.json")
+            current_path = os.path.join(tmp, "current.json")
+            with open(baseline_path, "w") as bf:
+                json.dump(baseline_obj, bf)
+            with open(current_path, "w") as cf:
+                json.dump(current_obj, cf)
+            rc = check(baseline_path, [current_path])
+        status = "ok" if rc == expected_rc else "FAILED"
+        print(f"self-test [{name}]: rc={rc} "
+              f"(expected {expected_rc}) ... {status}",
+              file=sys.stderr)
+        return rc == expected_rc
+
+    good_baseline = {
+        "tolerance": 0.15,
+        "metrics": {"bench/x:metric": {"baseline": 10.0,
+                                       "higher_is_better": True}},
+    }
+    passing = {"benchmarks": [{"name": "bench/x", "metric": 11.0}]}
+    regressed = {"benchmarks": [{"name": "bench/x", "metric": 1.0}]}
+    missing = {"benchmarks": [{"name": "bench/y", "metric": 11.0}]}
+    malformed_baseline = {
+        "metrics": {"bench/x:metric": {"higher_is_better": True}}}
+
+    ok = True
+    ok &= run_case("pass", good_baseline, passing, 0)
+    ok &= run_case("regression", good_baseline, regressed, 1)
+    ok &= run_case("metric missing from measured JSON",
+                   good_baseline, missing, 1)
+    ok &= run_case("baseline entry without 'baseline' value",
+                   malformed_baseline, passing, 2)
+    ok &= run_case("empty baseline", {"metrics": {}}, passing, 2)
+    if not ok:
+        print("self-test FAILED", file=sys.stderr)
+        return 1
+    print("self-test passed (5 scenarios)", file=sys.stderr)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        help="committed baseline JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own error-handling tests")
+    parser.add_argument("current", nargs="*",
+                        help="benchmark result JSON files")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and at least one result file are "
+                     "required (or use --self-test)")
+    return check(args.baseline, args.current)
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "circuit/array.hh"
 #include "circuit/interconnect.hh"
@@ -55,6 +56,41 @@ GpuPowerModel::GpuPowerModel(const GpuConfig &cfg)
     _dram_power =
         std::make_unique<dram::Gddr5Power>(_cfg.dram, _cfg.clocks.dram_hz);
     buildUncore();
+
+    // Compile the hierarchical model into the flat evaluator; every
+    // evaluate()/evaluateAt()/blockPowers() result below is derived
+    // from it.
+    CompiledModelInputs in;
+    in.cfg = &_cfg;
+    in.tech = &_t;
+    in.core = _core_model.get();
+    in.base_power_scale = _base_power_scale;
+    in.noc = _noc;
+    in.mc = _mc;
+    in.pcie = _pcie;
+    in.l2 = _l2;
+    in.noc_flit_energy_j = _noc_flit_energy_j;
+    in.noc_busy_w = _noc_busy_w;
+    in.l2_access_energy_j = _l2_access_energy_j;
+    in.mc_request_energy_j = _mc_request_energy_j;
+    in.mc_bit_energy_j = _mc_bit_energy_j;
+    in.mc_busy_w = _mc_busy_w;
+    in.pcie_active_w = _pcie_active_w;
+    in.pcie_byte_energy_j = _pcie_byte_energy_j;
+    in.dram = _dram_power.get();
+    in.blocks = makeBlocks();
+    _compiled = std::make_unique<CompiledPowerModel>(in);
+
+    PowerReport stat = staticReport();
+    _static_power_w = stat.staticPower();
+    _area_mm2 = stat.area();
+    double peak = stat.gpu.totalPeak();
+    // Base power at full occupancy.
+    peak += (_cfg.calib.global_sched_w +
+             _cfg.calib.cluster_base_w * _cfg.clusters +
+             _cfg.calib.core_base_dyn_w * _cfg.numCores()) *
+            _base_power_scale;
+    _peak_dynamic_w = peak;
 }
 
 void
@@ -72,9 +108,10 @@ GpuPowerModel::buildUncore()
     double noc_clock_cap = noc_clock_f_per_port_bit *
                            static_cast<double>(ports) *
                            _cfg.noc.link_bits;
+    _noc_busy_w =
+        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncoreHz();
     _noc.peak_dynamic_w =
-        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncoreHz() +
-        _noc_flit_energy_j * _cfg.clocks.uncoreHz();
+        _noc_busy_w + _noc_flit_energy_j * _cfg.clocks.uncoreHz();
 
     // --- Memory controllers ---
     double if_bits = static_cast<double>(_cfg.dram.channels) *
@@ -85,8 +122,9 @@ GpuPowerModel::buildUncore()
                    (_t.feature_m / 40e-9) * (_t.feature_m / 40e-9);
     _mc_request_energy_j = mc_request_nj * 1e-9;
     _mc_bit_energy_j = mc_bit_pj * 1e-12;
+    _mc_busy_w = mc_busy_w_per_bit * if_bits;
     _mc.peak_dynamic_w =
-        mc_busy_w_per_bit * if_bits +
+        _mc_busy_w +
         _mc_bit_energy_j * if_bits * 4.0 * _cfg.clocks.dram_hz;
 
     // --- PCIe controller ---
@@ -123,150 +161,31 @@ GpuPowerModel::buildUncore()
 PowerReport
 GpuPowerModel::evaluate(const perf::ChipActivity &act) const
 {
-    PowerReport rep;
-    double elapsed = act.elapsed_s > 0.0 ? act.elapsed_s : 1.0;
-    rep.elapsed_s = elapsed;
-    rep.gpu.name = "GPU";
+    CompiledPowerModel::Eval ev;
+    _compiled->evaluate(act, ev);
+    return _compiled->assembleReport(ev);
+}
 
-    double cycles = act.shader_cycles > 0
-                        ? static_cast<double>(act.shader_cycles)
-                        : 1.0;
-    double gpu_busy_frac =
-        std::min(1.0, static_cast<double>(act.gpu_busy_cycles) / cycles);
-
-    // Empirical base power (SectionIII-D): the global scheduler and
-    // the per-cluster activation cost derived from the Fig. 4
-    // staircase measurement.
-    double cluster_base_total = 0.0;
-    for (uint64_t busy : act.cluster_busy_cycles) {
-        cluster_base_total += _cfg.calib.cluster_base_w *
-                              _base_power_scale *
-                              std::min(1.0,
-                                       static_cast<double>(busy) / cycles);
-    }
-    double sched_w =
-        _cfg.calib.global_sched_w * _base_power_scale * gpu_busy_frac;
-    unsigned n_cores = _cfg.numCores();
-
-    // L2 attribution: the paper's LDSTU "encapsulates ... the L2
-    // caches"; spread the shared L2 across the cores' LDSTUs.
-    ComponentStatics l2_share;
-    double l2_dyn_w = 0.0;
-    if (_cfg.l2.present) {
-        l2_share.area_mm2 = _l2.area_mm2 / n_cores;
-        l2_share.sub_leakage_w = _l2.sub_leakage_w / n_cores;
-        l2_share.gate_leakage_w = _l2.gate_leakage_w / n_cores;
-        l2_share.peak_dynamic_w = _l2.peak_dynamic_w / n_cores;
-        double e_l2 = (act.mem.l2_reads + act.mem.l2_writes) *
-                      _l2_access_energy_j;
-        l2_dyn_w = e_l2 / elapsed / n_cores;
-    }
-
-    PowerNode &cores = rep.gpu.child("Cores");
-    GSP_ASSERT(act.cores.size() == n_cores,
-               "activity record does not match configuration");
-    double analytic_dyn = 0.0;
-    for (unsigned i = 0; i < n_cores; ++i) {
-        PowerNode &core = cores.child("Core" + std::to_string(i));
-        double resident_frac = std::min(
-            1.0, static_cast<double>(act.cores[i].cycles_resident) /
-                     cycles);
-        double base_dyn = _cfg.calib.core_base_dyn_w *
-                          _base_power_scale * resident_frac;
-        _core_model->populate(core, act.cores[i], elapsed, base_dyn,
-                              l2_share, l2_dyn_w);
-        if (const PowerNode *wcu = core.find("WCU"))
-            analytic_dyn += wcu->runtime_dynamic_w;
-        if (const PowerNode *rf = core.find("Register File"))
-            analytic_dyn += rf->runtime_dynamic_w;
-        if (const PowerNode *ldst = core.find("LDSTU"))
-            analytic_dyn += ldst->runtime_dynamic_w;
-    }
-    // Cluster activation (+0.692 W per active cluster on the GT240)
-    // and the global work-distribution engine (+3.34 W, measured via
-    // the first step of the Fig. 4 staircase). The paper folds both
-    // into the cores' base/undifferentiated power; we keep them as
-    // named nodes under Cores.
-    PowerNode &cluster_base = cores.child("Cluster Base");
-    cluster_base.runtime_dynamic_w = cluster_base_total;
-    PowerNode &sched = cores.child("Global Scheduler");
-    sched.runtime_dynamic_w = sched_w;
-
-    // --- NoC ---
-    PowerNode &noc = rep.gpu.child("NoC");
-    noc.area_mm2 = _noc.area_mm2;
-    noc.sub_leakage_w = _noc.sub_leakage_w;
-    noc.gate_leakage_w = _noc.gate_leakage_w;
-    noc.peak_dynamic_w = _noc.peak_dynamic_w;
-    double noc_clock_cap =
-        noc_clock_f_per_port_bit *
-        static_cast<double>(_cfg.numCores() + _cfg.dram.channels) *
-        _cfg.noc.link_bits;
-    noc.runtime_dynamic_w =
-        noc_clock_cap * _t.vdd * _t.vdd * _cfg.clocks.uncoreHz() *
-            gpu_busy_frac +
-        act.mem.noc_flits * _noc_flit_energy_j / elapsed;
-    analytic_dyn += noc.runtime_dynamic_w;
-
-    // --- Memory controller ---
-    PowerNode &mc = rep.gpu.child("Memory Controller");
-    mc.area_mm2 = _mc.area_mm2;
-    mc.sub_leakage_w = _mc.sub_leakage_w;
-    mc.gate_leakage_w = _mc.gate_leakage_w;
-    mc.peak_dynamic_w = _mc.peak_dynamic_w;
-    double if_bits = static_cast<double>(_cfg.dram.channels) *
-                     _cfg.dram.channel_bits;
-    double xfer_bits =
-        static_cast<double>(act.mem.dram_read_bursts +
-                            act.mem.dram_write_bursts) *
-        _cfg.dram.burst_length * _cfg.dram.channel_bits;
-    mc.runtime_dynamic_w =
-        mc_busy_w_per_bit * if_bits * gpu_busy_frac +
-        act.mem.mc_requests * _mc_request_energy_j / elapsed +
-        xfer_bits * _mc_bit_energy_j / elapsed;
-    analytic_dyn += mc.runtime_dynamic_w;
-
-    // --- PCIe controller ---
-    PowerNode &pcie = rep.gpu.child("PCIe Controller");
-    pcie.area_mm2 = _pcie.area_mm2;
-    pcie.sub_leakage_w = _pcie.sub_leakage_w;
-    pcie.gate_leakage_w = _pcie.gate_leakage_w;
-    pcie.peak_dynamic_w = _pcie.peak_dynamic_w;
-    pcie.runtime_dynamic_w =
-        _pcie_active_w * gpu_busy_frac +
-        act.mem.pcie_bytes * _pcie_byte_energy_j / elapsed;
-
-    rep.short_circuit_w = _cfg.calib.short_circuit_frac /
-                          (1.0 + _cfg.calib.short_circuit_frac) *
-                          analytic_dyn;
-
-    // --- External DRAM ---
-    dram::DramActivity da;
-    da.activates = act.mem.dram_activates;
-    da.read_bursts = act.mem.dram_read_bursts;
-    da.write_bursts = act.mem.dram_write_bursts;
-    da.elapsed_s = elapsed;
-    double total_dram_cycles =
-        elapsed * _cfg.clocks.dram_hz * _cfg.dram.channels;
-    double util = total_dram_cycles > 0.0
-                      ? static_cast<double>(act.mem.dram_bus_cycles) /
-                            total_dram_cycles
-                      : 0.0;
-    da.row_open_frac = std::min(1.0, 4.0 * util);
-    rep.dram_w = _dram_power->compute(da).total();
-
-    return rep;
+PowerReport
+GpuPowerModel::evaluateAt(const perf::ChipActivity &act,
+                          const std::vector<double> &block_temps_k)
+    const
+{
+    if (block_temps_k.empty())
+        return evaluate(act);
+    CompiledPowerModel::Eval ev;
+    _compiled->evaluateAt(act, block_temps_k, ev);
+    return _compiled->assembleReport(ev);
 }
 
 double
 GpuPowerModel::subLeakScaleAt(double temp_k) const
 {
-    return tech::tempLeakFactorAt(temp_k) /
-           tech::tempLeakFactorAt(_t.temperature);
+    return _compiled->subLeakScaleAt(temp_k);
 }
 
 thermal::BlockSet
-GpuPowerModel::thermalBlocks() const
+GpuPowerModel::makeBlocks() const
 {
     thermal::BlockSet set;
     set.num_clusters = _cfg.clusters;
@@ -292,115 +211,18 @@ GpuPowerModel::thermalBlocks() const
     return set;
 }
 
-std::vector<BlockPower>
-GpuPowerModel::blockPowers(const PowerReport &rep,
-                           const perf::ChipActivity &act) const
+thermal::BlockSet
+GpuPowerModel::thermalBlocks() const
 {
-    thermal::BlockSet set = thermalBlocks();
-    std::vector<BlockPower> bp(set.size());
-    double elapsed = rep.elapsed_s > 0.0 ? rep.elapsed_s : 1.0;
-    double cycles = act.shader_cycles > 0
-                        ? static_cast<double>(act.shader_cycles)
-                        : 1.0;
-    unsigned n_cores = _cfg.numCores();
-
-    // The per-core L2 share folded into each LDSTU (statics and the
-    // access energy) moves back out into the dedicated L2 block.
-    double l2_sub_share = 0.0, l2_gate_share = 0.0, l2_dyn_share = 0.0;
-    if (_cfg.l2.present) {
-        l2_sub_share = _l2.sub_leakage_w / n_cores;
-        l2_gate_share = _l2.gate_leakage_w / n_cores;
-        l2_dyn_share = (act.mem.l2_reads + act.mem.l2_writes) *
-                       _l2_access_energy_j / elapsed / n_cores;
-    }
-
-    for (unsigned i = 0; i < n_cores; ++i) {
-        const PowerNode *core =
-            rep.gpu.find("Cores/Core" + std::to_string(i));
-        GSP_ASSERT(core, "report misses Core", i);
-        BlockPower &cluster = bp[i / _cfg.cores_per_cluster];
-        cluster.dynamic_w += core->totalDynamic() - l2_dyn_share;
-        cluster.sub_leak_w += core->totalSubLeakage() - l2_sub_share;
-        cluster.fixed_w += core->totalGateLeakage() - l2_gate_share;
-    }
-    if (_cfg.l2.present) {
-        BlockPower &l2 = bp[set.l2Index()];
-        l2.dynamic_w = l2_dyn_share * n_cores;
-        l2.sub_leak_w = l2_sub_share * n_cores;
-        l2.fixed_w = l2_gate_share * n_cores;
-    }
-
-    // Cluster activation power lands in the cluster that earned it
-    // (same formula evaluate() aggregates into the Cluster Base
-    // node); the global work-distribution engine sits mid-die with
-    // the uncore controllers.
-    for (std::size_t c = 0; c < act.cluster_busy_cycles.size(); ++c) {
-        double busy =
-            static_cast<double>(act.cluster_busy_cycles[c]);
-        bp[std::min<std::size_t>(c, _cfg.clusters - 1)].dynamic_w +=
-            _cfg.calib.cluster_base_w * _base_power_scale *
-            std::min(1.0, busy / cycles);
-    }
-    BlockPower &uncore = bp[set.uncoreIndex()];
-    if (const PowerNode *sched = rep.gpu.find("Cores/Global Scheduler"))
-        uncore.dynamic_w += sched->totalDynamic();
-    for (const char *name :
-         {"NoC", "Memory Controller", "PCIe Controller"}) {
-        const PowerNode *node = rep.gpu.find(name);
-        GSP_ASSERT(node, "report misses ", name);
-        uncore.dynamic_w += node->totalDynamic();
-        uncore.sub_leak_w += node->totalSubLeakage();
-        uncore.fixed_w += node->totalGateLeakage();
-    }
-
-    // The external DRAM runs from its own supply and clock: neither
-    // core-clock throttling nor die temperature moves it.
-    bp[set.dramIndex()].fixed_w = rep.dram_w;
-    return bp;
+    return _compiled->blocks();
 }
 
-PowerReport
-GpuPowerModel::evaluateAt(const perf::ChipActivity &act,
-                          const std::vector<double> &block_temps_k)
-    const
+std::vector<BlockPower>
+GpuPowerModel::blockPowers(const perf::ChipActivity &act) const
 {
-    PowerReport rep = evaluate(act);
-    if (block_temps_k.empty())
-        return rep;
-    thermal::BlockSet set = thermalBlocks();
-    GSP_ASSERT(block_temps_k.size() == set.size(),
-               "temperature vector does not match block set");
-    double r_uncore = subLeakScaleAt(block_temps_k[set.uncoreIndex()]);
-    double l2_sub_share =
-        _cfg.l2.present ? _l2.sub_leakage_w / _cfg.numCores() : 0.0;
-
-    for (PowerNode &top : rep.gpu.children) {
-        if (top.name == "Cores") {
-            for (PowerNode &child : top.children) {
-                if (child.name.rfind("Core", 0) != 0 ||
-                    child.name.size() <= 4)
-                    continue; // Cluster Base / Global Scheduler
-                unsigned i = static_cast<unsigned>(
-                    std::stoul(child.name.substr(4)));
-                double r_cl = subLeakScaleAt(
-                    block_temps_k[i / _cfg.cores_per_cluster]);
-                child.scaleSubLeakage(r_cl);
-                if (_cfg.l2.present) {
-                    // The folded L2 share follows the L2 block, not
-                    // the cluster it is reported under.
-                    double r_l2 = subLeakScaleAt(
-                        block_temps_k[set.l2Index()]);
-                    for (PowerNode &part : child.children)
-                        if (part.name == "LDSTU")
-                            part.sub_leakage_w +=
-                                l2_sub_share * (r_l2 - r_cl);
-                }
-            }
-        } else {
-            top.scaleSubLeakage(r_uncore);
-        }
-    }
-    return rep;
+    CompiledPowerModel::Eval ev;
+    _compiled->evaluate(act, ev);
+    return std::move(ev.blocks);
 }
 
 PowerReport
@@ -417,26 +239,19 @@ GpuPowerModel::staticReport() const
 double
 GpuPowerModel::area() const
 {
-    return staticReport().area();
+    return _area_mm2;
 }
 
 double
 GpuPowerModel::staticPower() const
 {
-    return staticReport().staticPower();
+    return _static_power_w;
 }
 
 double
 GpuPowerModel::peakDynamicPower() const
 {
-    PowerReport rep = staticReport();
-    double peak = rep.gpu.totalPeak();
-    // Base power at full occupancy.
-    peak += (_cfg.calib.global_sched_w +
-             _cfg.calib.cluster_base_w * _cfg.clusters +
-             _cfg.calib.core_base_dyn_w * _cfg.numCores()) *
-            _base_power_scale;
-    return peak;
+    return _peak_dynamic_w;
 }
 
 } // namespace power

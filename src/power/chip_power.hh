@@ -16,28 +16,13 @@
 #include "config/gpu_config.hh"
 #include "dram/gddr5.hh"
 #include "perf/activity.hh"
+#include "power/compiled.hh"
 #include "power/core_power.hh"
 #include "power/report.hh"
 #include "thermal/thermal.hh"
 
 namespace gpusimpow {
 namespace power {
-
-/**
- * One thermal block's power split by how it responds to the two
- * feedback knobs: dynamic_w scales with the core clock (throttling),
- * sub_leak_w scales with tempLeakFactor (junction temperature), and
- * fixed_w does neither (gate leakage; the off-chip DRAM power, which
- * runs from its own supply and clock).
- */
-struct BlockPower
-{
-    double dynamic_w = 0.0;
-    double sub_leak_w = 0.0;
-    double fixed_w = 0.0;
-
-    double total() const { return dynamic_w + sub_leak_w + fixed_w; }
-};
 
 /** Power model of one complete GPU card. */
 class GpuPowerModel
@@ -46,9 +31,21 @@ class GpuPowerModel
     explicit GpuPowerModel(const GpuConfig &cfg);
 
     /**
-     * Evaluate runtime power for an activity interval.
+     * The flat evaluator every result below is derived from: built
+     * once at construction, it turns an activity interval into chip
+     * totals and per-thermal-block splits with a handful of dot
+     * products and no allocation. Hot paths (trace loops, thermal
+     * integration) should evaluate through it directly and reuse one
+     * CompiledPowerModel::Eval workspace.
+     */
+    const CompiledPowerModel &compiled() const { return *_compiled; }
+
+    /**
+     * Evaluate runtime power for an activity interval, assembling
+     * the full hierarchical report (Table V structure) from the
+     * compiled evaluation — use for report output, not per-interval
+     * loops.
      * @param act activity deltas over the interval
-     * @return hierarchical report (Table V structure)
      */
     PowerReport evaluate(const perf::ChipActivity &act) const;
 
@@ -76,17 +73,15 @@ class GpuPowerModel
     thermal::BlockSet thermalBlocks() const;
 
     /**
-     * Map a report onto the thermal blocks, splitting each block's
-     * power into clock-scaled / temperature-scaled / fixed shares
+     * Split an activity interval's power onto the thermal blocks:
+     * clock-scaled / temperature-scaled / fixed shares per block
      * (the vocabulary of the throttling governor and the steady
-     * solver). Summing every component reproduces
-     * rep.totalPower() + rep.dram_w exactly.
-     * @param rep a report produced by evaluate()/evaluateAt()
-     * @param act the activity interval rep was evaluated for
+     * solver), straight from the compiled evaluator — no report
+     * tree, no string-path lookups. Summing every component
+     * reproduces evaluate(act).totalPower() + dram_w exactly.
      */
     std::vector<BlockPower>
-    blockPowers(const PowerReport &rep,
-                const perf::ChipActivity &act) const;
+    blockPowers(const perf::ChipActivity &act) const;
 
     /**
      * Subthreshold-leakage multiplier between the nominal junction
@@ -120,6 +115,7 @@ class GpuPowerModel
     double _base_power_scale = 1.0;
     std::unique_ptr<CorePowerModel> _core_model;
     std::unique_ptr<dram::Gddr5Power> _dram_power;
+    std::unique_ptr<CompiledPowerModel> _compiled;
 
     // Uncore statics, computed once at construction.
     ComponentStatics _noc;
@@ -127,13 +123,22 @@ class GpuPowerModel
     ComponentStatics _pcie;
     ComponentStatics _l2;       // all slices together
     double _noc_flit_energy_j = 0.0;
+    double _noc_busy_w = 0.0;
     double _l2_access_energy_j = 0.0;
     double _mc_request_energy_j = 0.0;
     double _mc_bit_energy_j = 0.0;
+    double _mc_busy_w = 0.0;
     double _pcie_active_w = 0.0;
     double _pcie_byte_energy_j = 0.0;
 
+    // Table IV scalars, cached at construction (each needs a full
+    // static-report evaluation).
+    double _static_power_w = 0.0;
+    double _area_mm2 = 0.0;
+    double _peak_dynamic_w = 0.0;
+
     void buildUncore();
+    thermal::BlockSet makeBlocks() const;
 };
 
 } // namespace power

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The compiled power model: the hierarchical per-component model of
+ * GPGPU-Pow flattened into index-addressed arrays, in the spirit of
+ * GATSPI-style flat power evaluation. Built once per (configuration,
+ * process node, operating point), it reduces one activity interval's
+ * power evaluation to a handful of dot products over dense
+ * coefficient rows laid out against the ChipActivity X-macro counter
+ * order (perf::CoreCounterIndex / perf::MemCounterIndex), plus a few
+ * closed-form busy-fraction terms — no string lookups, no PowerNode
+ * tree, no heap allocation per interval.
+ *
+ * The compiled model is the *canonical* evaluator: GpuPowerModel's
+ * evaluate()/evaluateAt() assemble their PowerReport trees from the
+ * per-component values a compiled evaluation produces, and the block
+ * splits the thermal subsystem consumes come from the same pass via a
+ * precomputed component-to-thermal-block index map. Accumulation
+ * orders deliberately replicate the tree traversal orders of
+ * PowerNode::totalDynamic()/totalStatic() and the legacy blockPowers
+ * tree walk, so the flat totals and per-block splits are bit-identical
+ * to the on-demand report trees (asserted by test_compiled_power).
+ *
+ * Thermal leakage feedback is a scale of the static vectors: each
+ * component's subthreshold leakage is multiplied by its thermal
+ * block's tempLeakFactor ratio, instead of walking a report subtree
+ * with scaleSubLeakage().
+ */
+
+#ifndef GPUSIMPOW_POWER_COMPILED_HH
+#define GPUSIMPOW_POWER_COMPILED_HH
+
+#include <array>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "dram/gddr5.hh"
+#include "perf/activity.hh"
+#include "power/core_power.hh"
+#include "power/report.hh"
+#include "tech/tech.hh"
+#include "thermal/thermal.hh"
+
+namespace gpusimpow {
+namespace power {
+
+/**
+ * One thermal block's power split by how it responds to the two
+ * feedback knobs: dynamic_w scales with the core clock (throttling),
+ * sub_leak_w scales with tempLeakFactor (junction temperature), and
+ * fixed_w does neither (gate leakage; the off-chip DRAM power, which
+ * runs from its own supply and clock).
+ */
+struct BlockPower
+{
+    double dynamic_w = 0.0;
+    double sub_leak_w = 0.0;
+    double fixed_w = 0.0;
+
+    double total() const { return dynamic_w + sub_leak_w + fixed_w; }
+};
+
+/** Per-core report components, in report child order. */
+enum CoreComponent : unsigned
+{
+    kCoreBase = 0,   // empirical per-core base power
+    kCoreWcu,        // warp control unit
+    kCoreRf,         // register file
+    kCoreEu,         // execution units
+    kCoreLdst,       // LDSTU, with the folded L2 share
+    kCoreUndiff,     // undifferentiated residual
+    kCoreComponents
+};
+
+/** Chip-level components with their own report nodes. */
+enum UncoreComponent : unsigned
+{
+    kUncoreNoc = 0,
+    kUncoreMc,
+    kUncorePcie,
+    kUncoreComponents
+};
+
+/**
+ * Everything the compiled model is built from. GpuPowerModel fills
+ * this at construction; the struct keeps the two classes decoupled
+ * (chip_power owns calibration and uncore fitting, compiled owns
+ * evaluation).
+ */
+struct CompiledModelInputs
+{
+    const GpuConfig *cfg = nullptr;
+    const tech::TechNode *tech = nullptr;
+    const CorePowerModel *core = nullptr;
+    /** V^2*f scale of the empirical base powers at the operating
+     *  point. */
+    double base_power_scale = 1.0;
+    /** Uncore component statics (buildUncore outputs). */
+    ComponentStatics noc, mc, pcie, l2;
+    /** Per-event uncore energies / busy powers. */
+    double noc_flit_energy_j = 0.0;
+    double noc_busy_w = 0.0;     // clock-tree power while busy
+    double l2_access_energy_j = 0.0;
+    double mc_request_energy_j = 0.0;
+    double mc_bit_energy_j = 0.0;
+    double mc_busy_w = 0.0;      // interface power while busy
+    double pcie_active_w = 0.0;
+    double pcie_byte_energy_j = 0.0;
+    /** External DRAM model (owned by GpuPowerModel, outlives us). */
+    const dram::Gddr5Power *dram = nullptr;
+    /** Thermal block decomposition (component->block index source). */
+    thermal::BlockSet blocks;
+};
+
+/**
+ * Flat power model, evaluated per interval with zero allocation.
+ */
+class CompiledPowerModel
+{
+  public:
+    explicit CompiledPowerModel(const CompiledModelInputs &in);
+
+    /**
+     * Result + reusable workspace of one interval evaluation. The
+     * vectors are sized on first use and reused afterwards, so a
+     * caller evaluating many intervals (the trace loops) performs no
+     * per-interval allocation.
+     */
+    struct Eval
+    {
+        /** Per-thermal-block power split (BlockSet order); sub_leak_w
+         *  is scaled to the evaluation temperatures. */
+        std::vector<BlockPower> blocks;
+        /** Chip runtime dynamic power, W; bit-identical to
+         *  PowerReport::dynamicPower() of the assembled tree. */
+        double dynamic_w = 0.0;
+        /** Chip static power at the evaluation temperatures, W;
+         *  bit-identical to PowerReport::staticPower(). */
+        double static_w = 0.0;
+        /** External DRAM power, W. */
+        double dram_w = 0.0;
+        /** Short-circuit share of the dynamic numbers, W. */
+        double short_circuit_w = 0.0;
+        /** Interval the runtime numbers integrate over, s. */
+        double elapsed_s = 0.0;
+
+        /** Per-core per-component runtime dynamic power, W
+         *  (kCoreComponents entries per core; LDSTU includes the
+         *  folded L2 share) — the values the report tree is
+         *  assembled from. */
+        std::vector<double> core_dyn;
+        /** Per-core per-component subthreshold leakage at the
+         *  evaluation temperatures, W. */
+        std::vector<double> core_sub;
+        /** Uncore component runtime dynamics, W (UncoreComponent
+         *  order). */
+        std::array<double, kUncoreComponents> uncore_dyn{};
+        /** Uncore component subthreshold leakage at the evaluation
+         *  temperatures, W. */
+        std::array<double, kUncoreComponents> uncore_sub{};
+        /** Cluster-activation power total (Cluster Base node), W. */
+        double cluster_base_w = 0.0;
+        /** Global work-distribution engine power, W. */
+        double sched_w = 0.0;
+
+        /** Block-temperature scale factors used (scratch). */
+        std::vector<double> sub_scale;
+    };
+
+    /** Evaluate one interval at the nominal junction temperature. */
+    void evaluate(const perf::ChipActivity &act, Eval &out) const;
+
+    /**
+     * Evaluate with per-block junction temperatures (BlockSet order):
+     * every component's subthreshold leakage is scaled from the
+     * nominal temperature to its block's temperature. An empty vector
+     * evaluates at nominal everywhere (identical to evaluate()).
+     */
+    void evaluateAt(const perf::ChipActivity &act,
+                    const std::vector<double> &block_temps_k,
+                    Eval &out) const;
+
+    /**
+     * Assemble the full hierarchical report (Table V structure) from
+     * a compiled evaluation — the on-demand tree for report output.
+     */
+    PowerReport assembleReport(const Eval &ev) const;
+
+    /** The thermal block decomposition the block splits target. */
+    const thermal::BlockSet &blocks() const { return _blocks; }
+
+    /** Thermal block index of a core (its cluster). */
+    std::size_t coreBlock(unsigned core) const
+    {
+        return core / _cores_per_cluster;
+    }
+
+    /**
+     * Subthreshold-leakage multiplier between the nominal junction
+     * temperature and temp_k (1.0 at the nominal temperature).
+     */
+    double subLeakScaleAt(double temp_k) const
+    {
+        return tech::tempLeakFactorAt(temp_k) / _nominal_leak_factor;
+    }
+
+    /** Dense core dynamic-energy rows (X-macro counter order). */
+    const CoreDynCoefficients &coreCoefficients() const
+    {
+        return _core_coeff;
+    }
+    /** Dense uncore dynamic-energy rows (X-macro counter order). */
+    const std::array<double, perf::mem_activity_fields> &
+    memCoefficients(UncoreComponent comp) const
+    {
+        return _mem_coeff[comp];
+    }
+    /** Statics of the per-core folded L2 share (zero without L2). */
+    const ComponentStatics &l2ShareStatics() const { return _l2_share; }
+    /** Dynamic-energy row of the per-core folded L2 share. */
+    const std::array<double, perf::mem_activity_fields> &
+    l2ShareCoefficients() const
+    {
+        return _l2_share_coeff;
+    }
+
+  private:
+    // --- configuration scalars ---
+    unsigned _n_cores;
+    unsigned _clusters;
+    unsigned _cores_per_cluster;
+    bool _l2_present;
+    double _base_power_scale;
+    double _core_base_dyn_w;
+    double _cluster_base_w;
+    double _global_sched_w;
+    double _short_circuit_frac;
+    double _nominal_leak_factor;
+    double _dram_hz;
+    unsigned _dram_channels;
+
+    // --- dynamic-energy coefficient rows ---
+    CoreDynCoefficients _core_coeff;
+    /** NoC / MC / PCIe rows over the uncore counters. */
+    std::array<std::array<double, perf::mem_activity_fields>,
+               kUncoreComponents> _mem_coeff{};
+    /** Folded per-core L2 share row over the uncore counters. */
+    std::array<double, perf::mem_activity_fields> _l2_share_coeff{};
+    /** Busy-fraction-scaled uncore powers (UncoreComponent order). */
+    std::array<double, kUncoreComponents> _uncore_busy_w{};
+
+    // --- static vectors (nominal temperature) ---
+    /** Per-core component statics (kCoreComponents entries; LDSTU
+     *  without the L2 share, which has its own block). */
+    std::array<ComponentStatics, kCoreComponents> _core_statics{};
+    /** Folded per-core L2 share statics. */
+    ComponentStatics _l2_share;
+    /** Uncore component statics (UncoreComponent order). */
+    std::array<ComponentStatics, kUncoreComponents> _uncore_statics{};
+    /** LDSTU report-node constants with the folded L2 share. */
+    double _ldst_node_area = 0.0;
+    double _ldst_node_gate = 0.0;
+    double _ldst_node_peak = 0.0;
+    /** Per-core gate-leakage total (constant under temperature). */
+    double _core_gate_total = 0.0;
+
+    // --- component -> thermal block map ---
+    thermal::BlockSet _blocks;
+    std::size_t _l2_block = 0;
+    std::size_t _uncore_block = 0;
+
+    const dram::Gddr5Power *_dram;
+
+    void evaluateImpl(const perf::ChipActivity &act,
+                      const std::vector<double> *block_temps_k,
+                      Eval &out) const;
+};
+
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_POWER_COMPILED_HH

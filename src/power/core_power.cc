@@ -252,69 +252,70 @@ CorePowerModel::ldstStatics() const
     return s;
 }
 
-double
-CorePowerModel::wcuEnergy(const perf::CoreActivity &a) const
+void
+CorePowerModel::dynCoefficients(CoreDynCoefficients &c) const
 {
-    double e = 0.0;
-    e += a.wst_reads * _wst->readEnergy();
-    e += a.wst_writes * _wst->writeEnergy();
-    e += a.fetch_arbitrations * _fetch_sched->arbitrationEnergy();
-    e += a.issue_arbitrations * _issue_sched->arbitrationEnergy();
-    e += a.icache_reads * _icache->readEnergy();
-    e += a.decodes * _decoder->decodeEnergy();
-    e += a.ibuffer_writes * _ibuffer->writeEnergy();
-    e += a.ibuffer_reads * _ibuffer->searchEnergy();
+    using I = perf::CoreCounterIndex;
+    c = CoreDynCoefficients{};
+
+    // --- WCU: fetch/decode/schedule structures of Fig. 2 ---
+    const double ws = wcu_dyn_scale * clock_overhead;
+    c.wcu[I::wst_reads] = _wst->readEnergy() * ws;
+    c.wcu[I::wst_writes] = _wst->writeEnergy() * ws;
+    c.wcu[I::fetch_arbitrations] =
+        _fetch_sched->arbitrationEnergy() * ws;
+    c.wcu[I::issue_arbitrations] =
+        _issue_sched->arbitrationEnergy() * ws;
+    c.wcu[I::icache_reads] = _icache->readEnergy() * ws;
+    c.wcu[I::decodes] = _decoder->decodeEnergy() * ws;
+    c.wcu[I::ibuffer_writes] = _ibuffer->writeEnergy() * ws;
+    c.wcu[I::ibuffer_reads] = _ibuffer->searchEnergy() * ws;
     if (_scoreboard) {
-        e += a.scoreboard_checks * _scoreboard->searchEnergy();
-        e += a.scoreboard_writes * _scoreboard->writeEnergy();
+        c.wcu[I::scoreboard_checks] = _scoreboard->searchEnergy() * ws;
+        c.wcu[I::scoreboard_writes] = _scoreboard->writeEnergy() * ws;
     }
-    e += a.reconv_reads * _reconv_stack->readEnergy();
-    e += (a.reconv_pushes + a.reconv_pops) *
-         _reconv_stack->writeEnergy();
-    return e * wcu_dyn_scale * clock_overhead;
-}
+    c.wcu[I::reconv_reads] = _reconv_stack->readEnergy() * ws;
+    c.wcu[I::reconv_pushes] = _reconv_stack->writeEnergy() * ws;
+    c.wcu[I::reconv_pops] = _reconv_stack->writeEnergy() * ws;
 
-double
-CorePowerModel::rfEnergy(const perf::CoreActivity &a) const
-{
-    double e = 0.0;
-    e += a.rf_bank_reads * _rf_bank->readEnergy();
-    e += a.rf_bank_writes * _rf_bank->writeEnergy();
-    e += a.rf_bank_reads * _rf_xbar->transferEnergy();
-    e += a.collector_writes * _collector->writeEnergy();
-    e += a.collector_reads * _collector->readEnergy();
-    return e * rf_dyn_scale * clock_overhead;
-}
+    // --- Register file: banks, operand crossbar, collectors ---
+    const double rs = rf_dyn_scale * clock_overhead;
+    // Every bank read moves its operand over the crossbar too.
+    c.rf[I::rf_bank_reads] =
+        (_rf_bank->readEnergy() + _rf_xbar->transferEnergy()) * rs;
+    c.rf[I::rf_bank_writes] = _rf_bank->writeEnergy() * rs;
+    c.rf[I::collector_writes] = _collector->writeEnergy() * rs;
+    c.rf[I::collector_reads] = _collector->readEnergy() * rs;
 
-double
-CorePowerModel::euEnergy(const perf::CoreActivity &a) const
-{
-    // Empirical model of SectionIII-D: measured energy per executed
-    // instruction per enabled lane (~40 pJ INT, ~75 pJ FP), measured
-    // at nominal supply and rescaled with V^2 (Eq. 1) under DVFS.
-    return (a.int_lane_ops * _cfg.calib.int_op_pj +
-            a.fp_lane_ops * _cfg.calib.fp_op_pj +
-            a.sfu_lane_ops * _cfg.calib.sfu_op_pj) * 1e-12 *
-           _calib_e_scale;
-}
+    // --- Execution units: the empirical model of SectionIII-D,
+    // measured energy per executed instruction per enabled lane
+    // (~40 pJ INT, ~75 pJ FP) at nominal supply, rescaled with V^2
+    // (Eq. 1) under DVFS ---
+    c.eu[I::int_lane_ops] =
+        _cfg.calib.int_op_pj * 1e-12 * _calib_e_scale;
+    c.eu[I::fp_lane_ops] =
+        _cfg.calib.fp_op_pj * 1e-12 * _calib_e_scale;
+    c.eu[I::sfu_lane_ops] =
+        _cfg.calib.sfu_op_pj * 1e-12 * _calib_e_scale;
 
-double
-CorePowerModel::ldstEnergy(const perf::CoreActivity &a) const
-{
-    double e = 0.0;
-    e += a.agu_addrs * _cfg.calib.agu_addr_pj * 1e-12 * _calib_e_scale;
-    e += a.coalescer_lookups * _coalescer->writeEnergy();
-    e += a.coalescer_transactions * _coalescer->readEnergy();
-    e += a.smem_accesses * (_smem_bank->readEnergy() +
-                            _smem_data_xbar->transferEnergy() / 8.0);
-    e += (a.smem_accesses + a.const_reads) *
-         _smem_addr_xbar->transferEnergy() / 8.0;
-    e += a.const_reads * _const_cache->readEnergy();
+    // --- LDSTU: AGU, coalescer, SMEM/L1, constant cache (Fig. 3) ---
+    const double ls = ldst_dyn_scale * clock_overhead;
+    c.ldst[I::agu_addrs] =
+        _cfg.calib.agu_addr_pj * 1e-12 * _calib_e_scale * ls;
+    c.ldst[I::coalescer_lookups] = _coalescer->writeEnergy() * ls;
+    c.ldst[I::coalescer_transactions] = _coalescer->readEnergy() * ls;
+    c.ldst[I::smem_accesses] =
+        (_smem_bank->readEnergy() +
+         _smem_data_xbar->transferEnergy() / 8.0 +
+         _smem_addr_xbar->transferEnergy() / 8.0) * ls;
+    c.ldst[I::const_reads] =
+        (_smem_addr_xbar->transferEnergy() / 8.0 +
+         _const_cache->readEnergy()) * ls;
     if (_l1_tags) {
-        e += (a.l1_reads + a.l1_writes) * _l1_tags->readEnergy();
-        e += a.l1_misses * _l1_tags->writeEnergy();
+        c.ldst[I::l1_reads] = _l1_tags->readEnergy() * ls;
+        c.ldst[I::l1_writes] = _l1_tags->readEnergy() * ls;
+        c.ldst[I::l1_misses] = _l1_tags->writeEnergy() * ls;
     }
-    return e * ldst_dyn_scale * clock_overhead;
 }
 
 ComponentStatics
@@ -338,57 +339,6 @@ double
 CorePowerModel::euPeakDynamic() const
 {
     return _eu.peak_dynamic_w;
-}
-
-void
-CorePowerModel::populate(PowerNode &node, const perf::CoreActivity &act,
-                         double elapsed_s, double base_dyn_w,
-                         const ComponentStatics &l2_share,
-                         double l2_share_dyn_w) const
-{
-    GSP_ASSERT(elapsed_s > 0.0, "power evaluation needs elapsed time");
-
-    PowerNode &base = node.child("Base Power");
-    base.runtime_dynamic_w = base_dyn_w;
-
-    PowerNode &wcu = node.child("WCU");
-    ComponentStatics ws = wcuStatics();
-    wcu.area_mm2 = ws.area_mm2;
-    wcu.sub_leakage_w = ws.sub_leakage_w;
-    wcu.gate_leakage_w = ws.gate_leakage_w;
-    wcu.peak_dynamic_w = ws.peak_dynamic_w;
-    wcu.runtime_dynamic_w = wcuEnergy(act) / elapsed_s;
-
-    PowerNode &rf = node.child("Register File");
-    ComponentStatics rs = rfStatics();
-    rf.area_mm2 = rs.area_mm2;
-    rf.sub_leakage_w = rs.sub_leakage_w;
-    rf.gate_leakage_w = rs.gate_leakage_w;
-    rf.peak_dynamic_w = rs.peak_dynamic_w;
-    rf.runtime_dynamic_w = rfEnergy(act) / elapsed_s;
-
-    PowerNode &eu = node.child("Execution Units");
-    eu.area_mm2 = _eu.area_mm2;
-    eu.sub_leakage_w = _eu.sub_leakage_w;
-    eu.gate_leakage_w = _eu.gate_leakage_w;
-    eu.peak_dynamic_w = _eu.peak_dynamic_w;
-    eu.runtime_dynamic_w = euEnergy(act) / elapsed_s;
-
-    PowerNode &ldst = node.child("LDSTU");
-    ComponentStatics ls = ldstStatics();
-    ldst.area_mm2 = ls.area_mm2 + l2_share.area_mm2;
-    ldst.sub_leakage_w = ls.sub_leakage_w + l2_share.sub_leakage_w;
-    ldst.gate_leakage_w = ls.gate_leakage_w + l2_share.gate_leakage_w;
-    ldst.peak_dynamic_w = ls.peak_dynamic_w + l2_share.peak_dynamic_w;
-    ldst.runtime_dynamic_w =
-        ldstEnergy(act) / elapsed_s + l2_share_dyn_w;
-
-    PowerNode &undiff = node.child("Undiff. Core");
-    // The lumped residual was measured at nominal supply; leakage
-    // power tracks roughly V^2 over DVFS-sized supply excursions.
-    undiff.sub_leakage_w =
-        _cfg.calib.undiff_core_static_w * _calib_e_scale;
-    undiff.area_mm2 = _cfg.calib.undiff_core_area_mm2;
 }
 
 } // namespace power

@@ -10,6 +10,7 @@
 #ifndef GPUSIMPOW_POWER_CORE_POWER_HH
 #define GPUSIMPOW_POWER_CORE_POWER_HH
 
+#include <array>
 #include <memory>
 
 #include "circuit/array.hh"
@@ -17,7 +18,6 @@
 #include "circuit/logic.hh"
 #include "config/gpu_config.hh"
 #include "perf/activity.hh"
-#include "power/report.hh"
 #include "tech/tech.hh"
 
 namespace gpusimpow {
@@ -32,6 +32,22 @@ struct ComponentStatics
     double peak_dynamic_w = 0.0;
 };
 
+/**
+ * Dense dynamic-energy coefficient rows of the four analytic core
+ * components: J per counter increment, one entry per CoreActivity
+ * counter in X-macro declaration order (perf::CoreCounterIndex).
+ * The per-interval dynamic energy of a component is the dot product
+ * of its row with the interval's counter vector — the flat form the
+ * compiled power model (power/compiled.hh) evaluates.
+ */
+struct CoreDynCoefficients
+{
+    std::array<double, perf::core_activity_fields> wcu{};
+    std::array<double, perf::core_activity_fields> rf{};
+    std::array<double, perf::core_activity_fields> eu{};
+    std::array<double, perf::core_activity_fields> ldst{};
+};
+
 /** Power model of one SIMT core. */
 class CorePowerModel
 {
@@ -43,21 +59,23 @@ class CorePowerModel
     CorePowerModel(const GpuConfig &cfg, const tech::TechNode &t);
 
     /**
-     * Build the per-core subtree of the power report (the bottom
-     * half of Table V) for one activity interval.
-     * @param node output node (the core)
-     * @param act this core's activity over the interval
-     * @param elapsed_s interval duration
-     * @param base_dyn_w externally computed base power (cluster and
-     *        global scheduler share, SectionIII-D)
-     * @param l2_share externally computed L2 statics/dynamics folded
-     *        into the LDSTU (the paper: "the LDSTU encapsulates ...
-     *        the L2 caches")
+     * Extract the per-counter dynamic-energy coefficients of the
+     * WCU, register file, execution units, and LDSTU — the circuit
+     * models' per-access energies with the fitted dynamic scales and
+     * the clock-distribution overhead folded in. This is the
+     * coefficient-extraction half of the compiled power pipeline;
+     * the legacy tree path evaluated the same products term by term.
      */
-    void populate(PowerNode &node, const perf::CoreActivity &act,
-                  double elapsed_s, double base_dyn_w,
-                  const ComponentStatics &l2_share,
-                  double l2_share_dyn_w) const;
+    void dynCoefficients(CoreDynCoefficients &out) const;
+
+    /** Static properties of the WCU (Fig. 2 structures). */
+    ComponentStatics wcuStatics() const;
+    /** Static properties of the register file. */
+    ComponentStatics rfStatics() const;
+    /** Static properties of the execution units. */
+    ComponentStatics euStatics() const { return _eu; }
+    /** Static properties of the LDSTU (without the folded L2). */
+    ComponentStatics ldstStatics() const;
 
     /** Static properties of the whole core (sum of components). */
     ComponentStatics totals() const;
@@ -103,15 +121,6 @@ class CorePowerModel
     std::unique_ptr<circuit::Crossbar> _smem_data_xbar;
     std::unique_ptr<circuit::SramArray> _const_cache;
     std::unique_ptr<circuit::SramArray> _l1_tags;  // null without L1
-
-    ComponentStatics wcuStatics() const;
-    ComponentStatics rfStatics() const;
-    ComponentStatics ldstStatics() const;
-
-    double wcuEnergy(const perf::CoreActivity &act) const;
-    double rfEnergy(const perf::CoreActivity &act) const;
-    double euEnergy(const perf::CoreActivity &act) const;
-    double ldstEnergy(const perf::CoreActivity &act) const;
 };
 
 } // namespace power

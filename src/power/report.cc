@@ -20,6 +20,11 @@ PowerNode::find(const std::string &path) const
 {
     size_t slash = path.find('/');
     std::string head = path.substr(0, slash);
+    // An empty segment ("", "Cores//WCU", trailing '/') names no
+    // component; reject it outright instead of letting it match a
+    // node that happens to carry an empty name.
+    if (head.empty())
+        return nullptr;
     for (const auto &c : children) {
         if (c.name == head) {
             if (slash == std::string::npos)

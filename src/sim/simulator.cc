@@ -125,17 +125,22 @@ Simulator::evaluateSamples(const KernelSnapshot &snap)
     KernelRun run;
     run.perf = snap.perf;
 
+    // Per-interval power evaluation runs on the compiled model: a
+    // handful of dot products into a reused workspace, instead of a
+    // PowerNode tree per sample.
+    const power::CompiledPowerModel &cpm = _power->compiled();
     bool thermal_on = _cfg.thermal.enabled;
     if (snap.with_trace && !thermal_on) {
         double static_w = _power->staticPower();
+        run.trace.reserve(snap.samples.size());
         for (const ActivitySample &a : snap.samples) {
-            power::PowerReport rep = _power->evaluate(a.delta);
+            cpm.evaluate(a.delta, _eval);
             PowerSample s;
             s.t0 = a.t0;
             s.t1 = a.t1;
-            s.dynamic_w = rep.dynamicPower();
+            s.dynamic_w = _eval.dynamic_w;
             s.static_w = static_w;
-            s.dram_w = rep.dram_w;
+            s.dram_w = _eval.dram_w;
             run.trace.push_back(s);
         }
     } else if (snap.with_trace) {
@@ -144,30 +149,33 @@ Simulator::evaluateSamples(const KernelSnapshot &snap)
         // the leakage share of the next interval re-evaluated at the
         // current transient temperatures — the feedback loop, sampled.
         ensureThermal();
+        run.trace.reserve(snap.samples.size());
+        run.thermal.trace.reserve(snap.samples.size());
         for (const ActivitySample &a : snap.samples) {
-            power::PowerReport rep = _power->evaluate(a.delta);
-            std::vector<power::BlockPower> bp =
-                _power->blockPowers(rep, a.delta);
+            cpm.evaluate(a.delta, _eval);
+            const std::vector<power::BlockPower> &bp = _eval.blocks;
             if (!_thermal_state.initialized)
                 _thermal_state = _network->ambientState();
-            std::vector<double> powers(bp.size(), 0.0);
+            _block_powers.assign(bp.size(), 0.0);
             double chip_static = 0.0;
             for (std::size_t i = 0; i < bp.size(); ++i) {
                 double leak =
                     bp[i].sub_leak_w *
-                    _power->subLeakScaleAt(_thermal_state.temps_k[i]);
-                powers[i] = bp[i].dynamic_w + leak + bp[i].fixed_w;
+                    cpm.subLeakScaleAt(_thermal_state.temps_k[i]);
+                _block_powers[i] =
+                    bp[i].dynamic_w + leak + bp[i].fixed_w;
                 if (i != _blocks.dramIndex())
                     chip_static += leak + bp[i].fixed_w;
             }
-            _network->advance(_thermal_state, powers, a.t1 - a.t0);
+            _network->advance(_thermal_state, _block_powers,
+                              a.t1 - a.t0);
 
             PowerSample s;
             s.t0 = a.t0;
             s.t1 = a.t1;
-            s.dynamic_w = rep.dynamicPower();
+            s.dynamic_w = _eval.dynamic_w;
             s.static_w = chip_static;
-            s.dram_w = rep.dram_w;
+            s.dram_w = _eval.dram_w;
             run.trace.push_back(s);
 
             ThermalSample ts;
@@ -196,7 +204,7 @@ Simulator::replayKernel(const KernelSnapshot &snap)
     // power split, then the shared thermal tail.
     ensureThermal();
     std::vector<power::BlockPower> bp =
-        _power->blockPowers(run.report, run.perf.activity);
+        _power->blockPowers(run.perf.activity);
     thermal::SteadyResult steady = solveSteady(bp, 1.0);
     finishThermal(run, bp, steady, snap.with_trace, false);
     return run;
@@ -303,7 +311,7 @@ Simulator::runThermal(const perf::KernelProgram &prog,
 
     KernelRun run = runOnce(prog, launch, with_trace, sample_interval_s);
     std::vector<power::BlockPower> bp =
-        _power->blockPowers(run.report, run.perf.activity);
+        _power->blockPowers(run.perf.activity);
     thermal::SteadyResult steady = solveSteady(bp, 1.0);
 
     const double limit = _cfg.thermal.t_limit_k;
@@ -350,8 +358,7 @@ Simulator::runThermal(const perf::KernelProgram &prog,
                 _thermal_state = entry_state;
                 run = runOnce(prog, launch, with_trace,
                               sample_interval_s);
-                bp = _power->blockPowers(run.report,
-                                         run.perf.activity);
+                bp = _power->blockPowers(run.perf.activity);
             } else {
                 // Cannot legally re-execute: rescale the measured
                 // run analytically — the cycle count stands, the
@@ -372,9 +379,7 @@ Simulator::runThermal(const perf::KernelProgram &prog,
                     s.t0 *= stretch;
                     s.t1 *= stretch;
                 }
-                power::PowerReport rep_nom =
-                    _power->evaluate(run.perf.activity);
-                bp = _power->blockPowers(rep_nom, run.perf.activity);
+                bp = _power->blockPowers(run.perf.activity);
             }
             // Either way the new point is a measurement at f_new;
             // verify it and keep iterating until it truly holds —

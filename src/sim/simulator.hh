@@ -196,6 +196,12 @@ class Simulator
     /** Transient temperatures carried across kernels; reset by
      *  recycle() so simulator reuse stays bit-identical. */
     thermal::ThermalNetwork::State _thermal_state;
+    /** Reusable workspace of the compiled power evaluator: the trace
+     *  loops evaluate thousands of intervals per kernel with zero
+     *  per-interval allocation. */
+    power::CompiledPowerModel::Eval _eval;
+    /** Per-block power scratch of the transient thermal march. */
+    std::vector<double> _block_powers;
 
     void ensureThermal();
     void applyFreqScale(double freq_scale);

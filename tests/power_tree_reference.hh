@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reference implementation of the thermal block split computed the
+ * way the pre-compiled GpuPowerModel::blockPowers() did: string-path
+ * find() lookups and recursive subtree totals over a report tree,
+ * with the folded L2 shares moved back to the L2 block and the base
+ * powers re-derived from the configuration. Shared by the
+ * compiled-vs-tree bit-identity suite (test_compiled_power) and the
+ * throughput benchmark (bench_power_eval) so the two cross-checks
+ * cannot drift apart. Deliberately *not* part of the production
+ * library — the production split is the compiled evaluator's.
+ */
+
+#ifndef GPUSIMPOW_TESTS_POWER_TREE_REFERENCE_HH
+#define GPUSIMPOW_TESTS_POWER_TREE_REFERENCE_HH
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "perf/activity.hh"
+#include "power/chip_power.hh"
+#include "power/compiled.hh"
+#include "power/report.hh"
+
+namespace gpusimpow {
+namespace power {
+namespace testref {
+
+/**
+ * Legacy tree-walk block split of `rep`, which must have been
+ * produced by model.evaluate(act) (empty `temps`) or
+ * model.evaluateAt(act, temps).
+ */
+inline std::vector<BlockPower>
+treeBlockPowers(const GpuConfig &cfg, const GpuPowerModel &model,
+                const PowerReport &rep, const perf::ChipActivity &act,
+                const std::vector<double> &temps = {})
+{
+    thermal::BlockSet set = model.thermalBlocks();
+    const CompiledPowerModel &cpm = model.compiled();
+    std::vector<BlockPower> bp(set.size());
+
+    double elapsed = rep.elapsed_s > 0.0 ? rep.elapsed_s : 1.0;
+    double cycles = act.shader_cycles > 0
+                        ? static_cast<double>(act.shader_cycles)
+                        : 1.0;
+    unsigned n_cores = cfg.numCores();
+    double vs = cfg.tech.vdd_scale;
+    double base_power_scale = vs * vs * cfg.clocks.freq_scale;
+
+    double r_l2 = 1.0;
+    if (set.has_l2 && !temps.empty())
+        r_l2 = cpm.subLeakScaleAt(temps[set.l2Index()]);
+    // Per-core folded L2 shares: subs scaled at the L2 block's
+    // temperature (that is where the share physically heats).
+    double l2_dyn_share = 0.0, l2_sub_share = 0.0, l2_gate_share = 0.0;
+    if (set.has_l2) {
+        l2_dyn_share =
+            perf::dotCounters(act.mem,
+                              cpm.l2ShareCoefficients().data()) /
+            elapsed;
+        l2_sub_share = cpm.l2ShareStatics().sub_leakage_w * r_l2;
+        l2_gate_share = cpm.l2ShareStatics().gate_leakage_w;
+    }
+
+    for (unsigned i = 0; i < n_cores; ++i) {
+        const PowerNode *core =
+            rep.gpu.find("Cores/Core" + std::to_string(i));
+        GSP_ASSERT(core, "report misses Core", i);
+        BlockPower &cluster = bp[i / cfg.cores_per_cluster];
+        cluster.dynamic_w += core->totalDynamic() - l2_dyn_share;
+        cluster.sub_leak_w += core->totalSubLeakage() - l2_sub_share;
+        cluster.fixed_w += core->totalGateLeakage() - l2_gate_share;
+    }
+    if (set.has_l2) {
+        BlockPower &l2 = bp[set.l2Index()];
+        l2.dynamic_w = l2_dyn_share * n_cores;
+        l2.sub_leak_w = l2_sub_share * n_cores;
+        l2.fixed_w = l2_gate_share * n_cores;
+    }
+
+    for (std::size_t c = 0; c < act.cluster_busy_cycles.size(); ++c) {
+        double busy = static_cast<double>(act.cluster_busy_cycles[c]);
+        bp[std::min<std::size_t>(c, cfg.clusters - 1)].dynamic_w +=
+            cfg.calib.cluster_base_w * base_power_scale *
+            std::min(1.0, busy / cycles);
+    }
+    BlockPower &uncore = bp[set.uncoreIndex()];
+    if (const PowerNode *sched = rep.gpu.find("Cores/Global Scheduler"))
+        uncore.dynamic_w += sched->totalDynamic();
+    for (const char *name :
+         {"NoC", "Memory Controller", "PCIe Controller"}) {
+        const PowerNode *node = rep.gpu.find(name);
+        GSP_ASSERT(node, "report misses ", name);
+        uncore.dynamic_w += node->totalDynamic();
+        uncore.sub_leak_w += node->totalSubLeakage();
+        uncore.fixed_w += node->totalGateLeakage();
+    }
+    bp[set.dramIndex()].fixed_w = rep.dram_w;
+    return bp;
+}
+
+} // namespace testref
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_TESTS_POWER_TREE_REFERENCE_HH

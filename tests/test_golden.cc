@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -158,6 +159,67 @@ breakdownAnchor(const GpuConfig &cfg)
     return out;
 }
 
+/**
+ * Waveform anchor: a traced GTX580 blackscholes kernel under the
+ * stock cooler, serialized sample for sample (power split and the
+ * transient block temperatures). End-of-kernel totals cannot see a
+ * per-interval regression of the power/thermal evaluation loop; this
+ * fixture can.
+ */
+std::string
+thermalWaveformAnchor()
+{
+    GpuConfig cfg = GpuConfig::gtx580();
+    cfg.thermal.applyCooling("stock");
+
+    sim::EngineOptions opt;
+    opt.with_trace = true;
+    opt.sample_interval_s = 0.5e-6;
+    sim::Scenario scenario;
+    scenario.config = cfg;
+    scenario.workload = "blackscholes";
+    scenario.scale = 8;
+    sim::ScenarioResult result =
+        sim::SimulationEngine(opt).runScenario(scenario);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.kernels.size(), 1u);
+    const KernelRun &run = result.kernels.at(0).run;
+    EXPECT_TRUE(run.thermal.enabled);
+    EXPECT_TRUE(run.thermal.converged);
+    EXPECT_EQ(run.trace.size(), run.thermal.trace.size());
+    EXPECT_GE(run.trace.size(), 50u);
+
+    // Die blocks sit before the dram entry; the heatsink node is the
+    // last transient temperature.
+    std::size_t dram_index = run.thermal.block_names.size() - 1;
+    EXPECT_EQ(run.thermal.block_names.at(dram_index), "dram");
+
+    std::string out;
+    out += strformat("summary samples %zu\n", run.trace.size());
+    for (std::size_t k = 0; k < run.trace.size(); ++k) {
+        const PowerSample &p = run.trace[k];
+        const ThermalSample &t = run.thermal.trace[k];
+        double die_max = 0.0;
+        for (std::size_t b = 0; b < dram_index; ++b)
+            die_max = std::max(die_max, t.temps_k[b]);
+        std::string key = strformat("sample%04zu", k);
+        out += strformat("%s t0_us %.9g\n", key.c_str(), p.t0 * 1e6);
+        out += strformat("%s t1_us %.9g\n", key.c_str(), p.t1 * 1e6);
+        out += strformat("%s dynamic_w %.9g\n", key.c_str(),
+                         p.dynamic_w);
+        out += strformat("%s static_w %.9g\n", key.c_str(),
+                         p.static_w);
+        out += strformat("%s dram_w %.9g\n", key.c_str(), p.dram_w);
+        out += strformat("%s t_die_max_k %.9g\n", key.c_str(),
+                         die_max);
+        out += strformat("%s t_dram_k %.9g\n", key.c_str(),
+                         t.temps_k[dram_index]);
+        out += strformat("%s t_heatsink_k %.9g\n", key.c_str(),
+                         t.temps_k.back());
+    }
+    return out;
+}
+
 } // namespace
 
 TEST(Golden, Table4StaticGt240)
@@ -182,6 +244,12 @@ TEST(Golden, Table5BreakdownGtx580)
 {
     compareToGolden("gtx580_blackscholes_breakdown.txt",
                     breakdownAnchor(GpuConfig::gtx580()));
+}
+
+TEST(Golden, ThermalWaveformGtx580)
+{
+    compareToGolden("gtx580_thermal_waveform.txt",
+                    thermalWaveformAnchor());
 }
 
 /**

@@ -81,6 +81,26 @@ TEST(PowerNodeTree, ChildFindAndTotals)
     EXPECT_DOUBLE_EQ(root.totalArea(), 3.0);
 }
 
+TEST(PowerNodeTree, FindRejectsEmptyPathSegments)
+{
+    PowerNode root;
+    root.name = "GPU";
+    PowerNode &cores = root.child("Cores");
+    cores.child("WCU");
+    // A pathological empty-named child must never be reachable
+    // through an empty segment.
+    root.child("");
+
+    EXPECT_EQ(root.find(""), nullptr);
+    EXPECT_EQ(root.find("/"), nullptr);
+    EXPECT_EQ(root.find("/Cores"), nullptr);
+    EXPECT_EQ(root.find("Cores/"), nullptr);
+    EXPECT_EQ(root.find("Cores//WCU"), nullptr);
+    EXPECT_EQ(root.find("//"), nullptr);
+    // Well-formed paths keep working.
+    EXPECT_EQ(root.find("Cores/WCU"), &root.children[0].children[0]);
+}
+
 TEST(PowerModel, TableIVAnchorsGt240)
 {
     GpuPowerModel m(GpuConfig::gt240());

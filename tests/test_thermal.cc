@@ -275,7 +275,7 @@ TEST(ThermalPower, BlockPowersPartitionTheReportExactly)
         const KernelRun &run = r.kernels.at(0).run;
         power::GpuPowerModel model(cfg);
         std::vector<power::BlockPower> bp =
-            model.blockPowers(run.report, run.perf.activity);
+            model.blockPowers(run.perf.activity);
         thermal::BlockSet set = model.thermalBlocks();
         ASSERT_EQ(bp.size(), set.size());
 
