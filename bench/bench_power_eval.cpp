@@ -22,11 +22,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "perf/activity.hh"
+#include "power/batched.hh"
 #include "power/chip_power.hh"
 #include "power/compiled.hh"
 #include "sim/simulator.hh"
@@ -162,6 +164,114 @@ runBench(FILE *out, bool json)
                  "compiled path: %.1fx the tree path "
                  "(results bit-identical)\n", speedup);
 
+    // === Multi-variant replay: batched matrix path vs per-variant
+    // scalar loop ===
+    //
+    // A memoized sweep replays this trace once per power-only
+    // variant of the timing fingerprint. Model the Table II grid:
+    // process nodes x supply scales at the captured frequency.
+    const std::vector<unsigned> nodes = {40u, 28u};
+    const std::vector<double> vdds = {0.85, 0.9, 0.95, 1.0, 1.05,
+                                      1.1, 1.15, 1.2};
+    std::vector<std::unique_ptr<GpuPowerModel>> variant_models;
+    for (unsigned node : nodes) {
+        for (double v : vdds) {
+            GpuConfig vcfg = GpuConfig::gtx580();
+            if (node != vcfg.tech.node_nm) {
+                vcfg.tech.node_nm = node;
+                vcfg.tech.vdd = -1.0; // node-nominal supply
+            }
+            OperatingPoint op;
+            op.vdd_scale = v;
+            op.applyTo(vcfg);
+            variant_models.push_back(
+                std::make_unique<GpuPowerModel>(vcfg));
+        }
+    }
+    std::vector<const CompiledPowerModel *> variants;
+    for (const auto &m : variant_models)
+        variants.push_back(&m->compiled());
+    const std::size_t n_variants = variants.size();
+
+    std::fprintf(out,
+                 "\n=== Multi-variant replay: scalar loop vs batched "
+                 "matrix path (%zu variants x %zu intervals) ===\n",
+                 n_variants, samples.size());
+
+    // Per-variant dynamic+DRAM energy over the trace: the cross-check
+    // value. Both paths accumulate it in identical order (intervals
+    // innermost, one variant at a time), so equality is bitwise.
+    auto measureMulti = [&](auto &&evalAll) {
+        PathResult r;
+        std::vector<double> energies = evalAll(); // warm-up + check
+        r.dynamic_sum = 0.0;
+        for (double e : energies)
+            r.dynamic_sum += e;
+        auto t0 = std::chrono::steady_clock::now();
+        std::size_t evaluated = 0;
+        double elapsed = 0.0;
+        do {
+            evalAll();
+            evaluated += n_variants * samples.size();
+            elapsed = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        } while (elapsed < min_measure_s);
+        r.intervals_per_s = evaluated / elapsed;
+        return r;
+    };
+
+    std::vector<double> scalar_energy, batched_energy;
+    PathResult scalar_multi = measureMulti([&]() {
+        scalar_energy.assign(n_variants, 0.0);
+        CompiledPowerModel::Eval sev;
+        for (std::size_t v = 0; v < n_variants; ++v) {
+            for (const ActivitySample &a : samples) {
+                variants[v]->evaluate(a.delta, sev);
+                scalar_energy[v] +=
+                    (sev.dynamic_w + sev.dram_w) * (a.t1 - a.t0);
+            }
+        }
+        return scalar_energy;
+    });
+
+    std::vector<const perf::ChipActivity *> acts;
+    for (const ActivitySample &a : samples)
+        acts.push_back(&a.delta);
+    power::BatchedPowerEvaluator evaluator(variants);
+    power::BatchedPowerEvaluator::Workspace ws;
+    std::vector<power::BatchedKernelPower> rows;
+    PathResult batched = measureMulti([&]() {
+        batched_energy.assign(n_variants, 0.0);
+        evaluator.evaluate(acts, false, ws, rows);
+        for (std::size_t v = 0; v < n_variants; ++v) {
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                batched_energy[v] +=
+                    (rows[v].dynamic_w[i] + rows[v].dram_w[i]) *
+                    (samples[i].t1 - samples[i].t0);
+            }
+        }
+        return batched_energy;
+    });
+
+    // Bit-identical per-variant energies or the speedup is fiction.
+    for (std::size_t v = 0; v < n_variants; ++v) {
+        if (scalar_energy[v] != batched_energy[v])
+            fatal("scalar and batched energy totals diverged at "
+                  "variant ", v);
+    }
+
+    double batched_speedup =
+        batched.intervals_per_s / scalar_multi.intervals_per_s;
+    std::fprintf(out, "%10s %26s\n", "path", "variant-intervals/s");
+    std::fprintf(out, "%10s %26.0f\n", "scalar",
+                 scalar_multi.intervals_per_s);
+    std::fprintf(out, "%10s %26.0f\n", "batched",
+                 batched.intervals_per_s);
+    std::fprintf(out,
+                 "batched path: %.1fx the scalar loop "
+                 "(energy totals bit-identical)\n", batched_speedup);
+
     if (json) {
         std::printf("{\n  \"benchmarks\": [\n");
         std::printf("    {\"name\": \"power_eval/tree\", "
@@ -171,7 +281,12 @@ runBench(FILE *out, bool json)
                     "\"intervals_per_s\": %.17g},\n",
                     compiled.intervals_per_s);
         std::printf("    {\"name\": \"power_eval/speedup\", "
-                    "\"speedup\": %.17g}\n", speedup);
+                    "\"speedup\": %.17g},\n", speedup);
+        std::printf("    {\"name\": \"power_eval/batched\", "
+                    "\"variant_intervals_per_s\": %.17g},\n",
+                    batched.intervals_per_s);
+        std::printf("    {\"name\": \"power_eval/batched_speedup\", "
+                    "\"speedup\": %.17g}\n", batched_speedup);
         std::printf("  ]\n}\n");
     }
     return 0;

@@ -168,6 +168,28 @@ def self_test():
     missing = {"benchmarks": [{"name": "bench/y", "metric": 11.0}]}
     malformed_baseline = {
         "metrics": {"bench/x:metric": {"higher_is_better": True}}}
+    # The batched-replay gate as committed: the speedup ratio carries
+    # the acceptance floor, the absolute throughput is slack. Both
+    # metrics come from one bench_power_eval JSON.
+    batched_baseline = {
+        "tolerance": 0.15,
+        "metrics": {
+            "power_eval/batched:variant_intervals_per_s": {
+                "baseline": 600000.0, "higher_is_better": True},
+            "power_eval/batched_speedup:speedup": {
+                "baseline": 3.6, "higher_is_better": True},
+        },
+    }
+    batched_ok = {"benchmarks": [
+        {"name": "power_eval/batched",
+         "variant_intervals_per_s": 2.7e6},
+        {"name": "power_eval/batched_speedup", "speedup": 3.8},
+    ]}
+    batched_slow = {"benchmarks": [
+        {"name": "power_eval/batched",
+         "variant_intervals_per_s": 2.7e6},
+        {"name": "power_eval/batched_speedup", "speedup": 2.4},
+    ]}
 
     ok = True
     ok &= run_case("pass", good_baseline, passing, 0)
@@ -177,10 +199,14 @@ def self_test():
     ok &= run_case("baseline entry without 'baseline' value",
                    malformed_baseline, passing, 2)
     ok &= run_case("empty baseline", {"metrics": {}}, passing, 2)
+    ok &= run_case("batched replay gate passes",
+                   batched_baseline, batched_ok, 0)
+    ok &= run_case("batched speedup below the 3x floor",
+                   batched_baseline, batched_slow, 1)
     if not ok:
         print("self-test FAILED", file=sys.stderr)
         return 1
-    print("self-test passed (5 scenarios)", file=sys.stderr)
+    print("self-test passed (7 scenarios)", file=sys.stderr)
     return 0
 
 

@@ -133,6 +133,26 @@ readU64Token(std::istream &in, const std::string &context)
     return v;
 }
 
+uint32_t
+readU32Token(std::istream &in, const std::string &context)
+{
+    uint64_t v = readU64Token(in, context);
+    if (v > UINT32_MAX)
+        fatal("malformed record: ", context, " ", v,
+              " exceeds the 32-bit range");
+    return static_cast<uint32_t>(v);
+}
+
+bool
+readFlagToken(std::istream &in, const std::string &context)
+{
+    uint64_t v = readU64Token(in, context);
+    if (v > 1)
+        fatal("malformed record: ", context, " must be 0 or 1, got ",
+              v);
+    return v != 0;
+}
+
 double
 readDoubleToken(std::istream &in, const std::string &context)
 {

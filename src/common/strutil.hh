@@ -58,6 +58,14 @@ void expectToken(std::istream &in, const std::string &keyword);
 /** Read an unsigned 64-bit decimal token; fatal() with context. */
 uint64_t readU64Token(std::istream &in, const std::string &context);
 
+/** Read a decimal token destined for a 32-bit unsigned field;
+ *  fatal() with a range message instead of silently truncating
+ *  values above 2^32-1 through a narrowing cast. */
+uint32_t readU32Token(std::istream &in, const std::string &context);
+
+/** Read a 0/1 boolean flag token; any other value is malformed. */
+bool readFlagToken(std::istream &in, const std::string &context);
+
 /**
  * Read a floating-point token; fatal() with context. Accepts C99 hex
  * floats, so values written with strformat("%a", v) round-trip

@@ -1,5 +1,6 @@
 #include "perf/activity.hh"
 
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
@@ -8,8 +9,70 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define GSP_HAVE_AVX2_DISPATCH 1
+#endif
+
 namespace gpusimpow {
 namespace perf {
+
+namespace {
+
+#ifdef GSP_HAVE_AVX2_DISPATCH
+/**
+ * AVX2 sparse quad-dot: one 4-wide vector register per partial-sum
+ * chain, lane j carrying coefficient row j. Explicit separate mul
+ * and add intrinsics (never fma) make each lane's arithmetic the
+ * exact IEEE operation sequence of the portable kernel — and hence
+ * of the scalar dotCountersRow — so the packed results are
+ * bit-identical across every path (the batched replay contract).
+ * Compiled with a target attribute and selected at runtime, so the
+ * binary itself stays baseline x86-64. The trailing division is
+ * IEEE-correctly-rounded per lane, identical to four scalar divides.
+ */
+__attribute__((target("avx2"))) void
+dotCountersSparseQuadAvx2(const double *values, const int32_t *idx,
+                          const double *coeff,
+                          const unsigned counts[4], double divisor,
+                          double *out4)
+{
+    __m256d acc[4];
+    std::size_t off = 0;
+    for (unsigned chain = 0; chain < 4; ++chain) {
+        __m256d s = _mm256_setzero_pd();
+        for (unsigned i = 0; i < counts[chain]; ++i, ++off)
+            s = _mm256_add_pd(
+                s, _mm256_mul_pd(
+                       _mm256_loadu_pd(coeff + off * 4),
+                       _mm256_broadcast_sd(values + idx[off])));
+        acc[chain] = s;
+    }
+    __m256d res = _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]),
+                                _mm256_add_pd(acc[2], acc[3]));
+    res = _mm256_div_pd(res, _mm256_broadcast_sd(&divisor));
+    _mm256_storeu_pd(out4, res);
+}
+#endif // GSP_HAVE_AVX2_DISPATCH
+
+DotCountersSparseQuadFn
+resolveSparseQuadKernel()
+{
+#ifdef GSP_HAVE_AVX2_DISPATCH
+    if (__builtin_cpu_supports("avx2"))
+        return dotCountersSparseQuadAvx2;
+#endif
+    return dotCountersSparseQuadPortable;
+}
+
+} // namespace
+
+DotCountersSparseQuadFn
+dotCountersSparseQuadKernel()
+{
+    static const DotCountersSparseQuadFn fn = resolveSparseQuadKernel();
+    return fn;
+}
 
 CoreActivity &
 CoreActivity::operator+=(const CoreActivity &o)
@@ -138,7 +201,32 @@ ChipActivity::parse(std::istream &in)
     act.blocks_dispatched = readU64Token(in, "blocks_dispatched");
     act.shader_cycles = readU64Token(in, "shader_cycles");
     act.elapsed_s = readDoubleToken(in, "elapsed_s");
+    // A duration: NaN/Inf or negative values are corruption, and
+    // they would silently poison every downstream rate division.
+    if (!std::isfinite(act.elapsed_s) || act.elapsed_s < 0.0)
+        fatal("malformed activity record: elapsed_s ", act.elapsed_s,
+              " is not a finite non-negative duration");
     return act;
+}
+
+void
+ActivityMatrix::append(const ChipActivity &act)
+{
+    if (n_intervals == 0 && core.empty())
+        n_cores = static_cast<unsigned>(act.cores.size());
+    GSP_ASSERT(act.cores.size() == n_cores,
+               "activity records of different GPUs in one matrix");
+    std::size_t core_base = core.size();
+    core.resize(core_base + std::size_t(n_cores) * core_activity_fields);
+    double *row = core.data() + core_base;
+    for (const CoreActivity &c : act.cores) {
+        countersToRow(c, row);
+        row += core_activity_fields;
+    }
+    std::size_t mem_base = mem.size();
+    mem.resize(mem_base + mem_activity_fields);
+    countersToRow(act.mem, mem.data() + mem_base);
+    ++n_intervals;
 }
 
 std::string

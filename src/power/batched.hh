@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Batched multi-variant power evaluation: many activity intervals x
+ * many compiled power models in one pass, in the GATSPI spirit of
+ * turning per-node power evaluation into dense array kernels.
+ *
+ * A memoized sweep replays one timing-unique activity snapshot
+ * through every power-only variant (process node, supply scale,
+ * cooling) of that timing fingerprint. The scalar path re-walks the
+ * per-interval loop of CompiledPowerModel::evaluate() once per
+ * variant, re-widening the same counters every time. The batched
+ * evaluator instead packs the snapshot's intervals into one SoA
+ * activity matrix (perf::ActivityMatrix, countersToArray layout),
+ * compresses each component's coefficient rows across variants into
+ * sparse four-lane quads, and computes the whole interval x variant
+ * product with the runtime-dispatched SIMD kernel
+ * (perf::dotCountersSparseQuadKernel) before a cheap per-(interval,
+ * variant) scalar assembly.
+ *
+ * Every arithmetic step of the assembly replicates the operation and
+ * accumulation order of CompiledPowerModel::evaluateImpl() at the
+ * nominal junction temperature, so each output is bit-identical to
+ * the corresponding scalar evaluate() call — the invariant that lets
+ * the engine switch batching on and off without changing a single
+ * result bit (asserted by test_batched_power and bench_power_eval).
+ */
+
+#ifndef GPUSIMPOW_POWER_BATCHED_HH
+#define GPUSIMPOW_POWER_BATCHED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perf/activity.hh"
+#include "power/compiled.hh"
+
+namespace gpusimpow {
+namespace power {
+
+/**
+ * One variant's per-interval outputs over a kernel's sample list —
+ * exactly the values the trace loops consume, split the same way as
+ * CompiledPowerModel::Eval.
+ */
+struct BatchedKernelPower
+{
+    /** Intervals evaluated. */
+    std::size_t n_intervals = 0;
+    /** Thermal blocks per interval row (0 unless want_blocks). */
+    std::size_t n_blocks = 0;
+    /** Chip runtime dynamic power per interval, W — bit-identical
+     *  to Eval::dynamic_w of the scalar path. */
+    std::vector<double> dynamic_w;
+    /** External DRAM power per interval, W (Eval::dram_w). */
+    std::vector<double> dram_w;
+    /** Per-block dynamic power, [interval * n_blocks + block] —
+     *  Eval::blocks[b].dynamic_w; filled only when want_blocks. */
+    std::vector<double> block_dynamic_w;
+    /** Activity-independent per-block statics at the nominal
+     *  junction temperature: sub_leak_w and fixed_w of Eval::blocks,
+     *  which evaluate() produces identically for every interval.
+     *  The DRAM board block's per-interval fixed share lives in
+     *  dram_w instead and is zero here. */
+    std::vector<BlockPower> static_blocks;
+};
+
+/**
+ * The batched evaluator over a fixed set of power-model variants.
+ * Construction stacks the variants' coefficient rows and precomputes
+ * their nominal-temperature block statics; evaluate() then turns a
+ * span of activity records into per-variant BatchedKernelPower.
+ *
+ * All variants must share the activity shape (core count) — in the
+ * engine they share a full timing fingerprint, which implies it.
+ */
+class BatchedPowerEvaluator
+{
+  public:
+    /** Reusable scratch: one instance per engine worker amortizes
+     *  the tile buffers across every group the worker replays. */
+    struct Workspace
+    {
+        /** Packed activity rows of the current tile. */
+        perf::ActivityMatrix acts;
+        /** Core-row product tile, [(interval, core) x (component,
+         *  lane)] — already divided by the interval's elapsed time. */
+        std::vector<double> core_prod;
+        /** Mem-row product tile, [interval x (component, lane)],
+         *  likewise pre-divided. */
+        std::vector<double> mem_prod;
+        /** Per-core resident fractions of the current interval. */
+        std::vector<double> resident_frac;
+        /** Per-cluster busy fractions of the current interval. */
+        std::vector<double> cluster_frac;
+    };
+
+    explicit BatchedPowerEvaluator(
+        std::vector<const CompiledPowerModel *> variants);
+
+    /** Number of stacked variants. */
+    std::size_t variants() const { return _variants.size(); }
+
+    /**
+     * Evaluate every interval for every variant. out is resized to
+     * variants() entries; out[v].dynamic_w[i] / dram_w[i] (and, with
+     * want_blocks, the per-block rows) are bit-identical to what
+     * variants[v]->evaluate(*acts[i], ev) produces. Intervals are
+     * processed in tiles, so the workspace footprint is bounded
+     * regardless of the trace length.
+     */
+    void evaluate(const std::vector<const perf::ChipActivity *> &acts,
+                  bool want_blocks, Workspace &ws,
+                  std::vector<BatchedKernelPower> &out) const;
+
+  private:
+    /**
+     * One column-compressed coefficient quad: the same component row
+     * (e.g. wcu) of four consecutive variants as the four lanes of a
+     * sparse group, in the chain-partitioned layout
+     * perf::dotCountersSparseQuadPortable defines. Grouping lanes by
+     * component — not by variant — is what makes the compression
+     * bite: a component's sparsity pattern is shared across variants
+     * (the rows are rescalings of one calibration), so all-zero
+     * columns stay all-zero across the whole quad and vanish.
+     */
+    struct SparseQuad
+    {
+        /** Columns per partial-sum chain, concatenated in order. */
+        unsigned counts[4] = {0, 0, 0, 0};
+        /** First column in the shared idx/coeff pools. */
+        std::size_t off = 0;
+    };
+
+    std::vector<const CompiledPowerModel *> _variants;
+    unsigned _n_cores = 0;
+    /** Variant count rounded up to a whole number of quad lanes;
+     *  padding lanes carry all-zero coefficients and their outputs
+     *  are never read. */
+    std::size_t _n_lanes = 0;
+    /** Core coefficient quads, [quad * rows_per_variant + component]
+     *  (component order wcu / rf / eu / ldst), with their column
+     *  pools. */
+    std::vector<SparseQuad> _core_quads;
+    std::vector<int32_t> _core_idx;
+    std::vector<double> _core_coeff; // [column * 4 + lane]
+    /** Uncore quads (component order folded-L2-share / NoC / MC /
+     *  PCIe) and their pools. */
+    std::vector<SparseQuad> _mem_quads;
+    std::vector<int32_t> _mem_idx;
+    std::vector<double> _mem_coeff; // [column * 4 + lane]
+    /** Per-variant products hoisted out of the per-interval loops:
+     *  core_base_dyn * base_power_scale, cluster_base *
+     *  base_power_scale, global_sched * base_power_scale — computed
+     *  with the same left-to-right association evaluateImpl() uses,
+     *  so substituting them is bit-neutral. */
+    std::vector<double> _core_base_scaled;
+    std::vector<double> _cluster_base_scaled;
+    std::vector<double> _sched_scaled;
+    /** Per-variant nominal block statics (see static_blocks). */
+    std::vector<std::vector<BlockPower>> _static_blocks;
+
+    /** Rows each counter matrix contributes per variant. */
+    static constexpr std::size_t rows_per_variant = 4;
+};
+
+} // namespace power
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_POWER_BATCHED_HH

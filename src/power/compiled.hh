@@ -224,6 +224,11 @@ class CompiledPowerModel
     }
 
   private:
+    /** The batched multi-variant evaluator (power/batched.hh) reads
+     *  the coefficient rows and static vectors directly so its
+     *  assembly can replicate evaluateImpl() bit for bit. */
+    friend class BatchedPowerEvaluator;
+
     // --- configuration scalars ---
     unsigned _n_cores;
     unsigned _clusters;

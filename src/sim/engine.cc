@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "power/batched.hh"
 #include "workloads/workload.hh"
 
 namespace gpusimpow {
@@ -51,6 +52,96 @@ finalizeScenario(ScenarioResult &result, const Simulator &simulator)
     result.area_mm2 = simulator.powerModel().area();
     result.vdd = simulator.powerModel().techNode().vdd;
     result.shader_hz = result.scenario.config.clocks.shaderHz();
+}
+
+/**
+ * Replay one batched work unit: unit[0]'s scenario has already been
+ * captured into `snapshot`; every remaining member is a power-only
+ * variant of the same timing fingerprint. Traced snapshots evaluate
+ * all variants' intervals together through the batched matrix
+ * evaluator (kernels outer, variants inner: each kernel's activity
+ * matrix is packed once and multiplied against the whole coefficient
+ * stack); untraced snapshots fall back to the scalar whole-kernel
+ * replay per variant, where there is no interval loop to batch.
+ */
+template <typename Publish>
+void
+replayGroup(const SimulationEngine &engine,
+            const std::vector<Scenario> &scenarios,
+            const std::vector<std::size_t> &unit,
+            const ActivitySnapshot &snapshot,
+            power::BatchedPowerEvaluator::Workspace &batch_ws,
+            Publish &&publish, std::atomic<std::size_t> &replayed)
+{
+    if (!snapshot.with_trace) {
+        for (std::size_t k = 1; k < unit.size(); ++k) {
+            const Scenario &variant = scenarios[unit[k]];
+            Simulator sim(variant.config);
+            publish(engine.replayScenario(variant, snapshot, sim));
+            replayed.fetch_add(1);
+        }
+        return;
+    }
+
+    // One Simulator per variant: their compiled power models are the
+    // coefficient stack, and each carries its own thermal state
+    // across the snapshot's kernels, exactly like a scalar replay.
+    const std::size_t n_variants = unit.size() - 1;
+    std::vector<const Scenario *> variants;
+    std::vector<std::unique_ptr<Simulator>> sims;
+    variants.reserve(n_variants);
+    sims.reserve(n_variants);
+    bool want_blocks = false;
+    for (std::size_t k = 1; k < unit.size(); ++k) {
+        variants.push_back(&scenarios[unit[k]]);
+        sims.push_back(
+            std::make_unique<Simulator>(variants.back()->config));
+        // The thermal trace march consumes per-block splits.
+        want_blocks |= variants.back()->config.thermal.enabled;
+    }
+    std::vector<const power::CompiledPowerModel *> models;
+    models.reserve(n_variants);
+    for (const auto &sim : sims)
+        models.push_back(&sim->powerModel().compiled());
+    power::BatchedPowerEvaluator evaluator(std::move(models));
+
+    std::vector<ScenarioResult> results(n_variants);
+    for (std::size_t j = 0; j < n_variants; ++j) {
+        results[j].scenario = *variants[j];
+        results[j].kernels.reserve(snapshot.kernels.size());
+        results[j].min_freq_scale =
+            variants[j]->config.clocks.freq_scale;
+    }
+
+    std::vector<const perf::ChipActivity *> acts;
+    std::vector<power::BatchedKernelPower> pre;
+    for (const KernelSnapshot &snap : snapshot.kernels) {
+        bool use_batch = snap.with_trace && !snap.samples.empty();
+        if (use_batch) {
+            acts.clear();
+            acts.reserve(snap.samples.size());
+            for (const ActivitySample &a : snap.samples)
+                acts.push_back(&a.delta);
+            evaluator.evaluate(acts, want_blocks, batch_ws, pre);
+        }
+        for (std::size_t j = 0; j < n_variants; ++j) {
+            accumulateKernel(
+                results[j], snap.label, snap.repeatable,
+                sims[j]->replayKernel(snap,
+                                      use_batch ? &pre[j] : nullptr));
+        }
+    }
+
+    for (std::size_t j = 0; j < n_variants; ++j) {
+        finalizeScenario(results[j], *sims[j]);
+        // Verification reads device memory — a timing-phase output
+        // the snapshot already carries (same as replayScenario).
+        results[j].verified = true;
+        if (variants[j]->verify && !results[j].kernels.empty())
+            results[j].verified = snapshot.verified;
+        publish(std::move(results[j]));
+        replayed.fetch_add(1);
+    }
 }
 
 } // namespace
@@ -167,22 +258,54 @@ SimulationEngine::run(const SweepSpec &spec) const
         return table; // nothing to do; spawn no workers
 
     std::size_t total = scenarios.size();
+
+    // Work units the pool pulls from. With batched group replay each
+    // timing-unique Scenario::snapshotKey() becomes one unit: its
+    // first scenario captures the snapshot, every other member
+    // replays through the batched matrix evaluator. Otherwise every
+    // scenario is its own unit and memoization (when on) goes
+    // through the cross-worker snapshot cache below. Grouping also
+    // removes that cache's duplicated-capture race: exactly one
+    // worker ever simulates a key.
+    const bool grouped = _options.memoize && _options.batch_replay;
+    std::vector<std::vector<std::size_t>> units;
+    units.reserve(total);
+    if (grouped) {
+        std::unordered_map<std::string, std::size_t> unit_of;
+        for (std::size_t i = 0; i < total; ++i) {
+            if (!scenarios[i].replayable()) {
+                units.push_back({i});
+                continue;
+            }
+            auto ins = unit_of.emplace(scenarios[i].snapshotKey(),
+                                       units.size());
+            if (ins.second)
+                units.emplace_back();
+            units[ins.first->second].push_back(i);
+        }
+    } else {
+        for (std::size_t i = 0; i < total; ++i)
+            units.push_back({i});
+    }
+
     unsigned workers = _jobs;
-    if (static_cast<std::size_t>(workers) > total)
-        workers = static_cast<unsigned>(total);
+    if (static_cast<std::size_t>(workers) > units.size())
+        workers = static_cast<unsigned>(units.size());
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> replayed{0};
     std::mutex progress_mutex;
 
-    // Cross-worker snapshot cache, scoped to this run (engine options
-    // are uniform within it, so with_trace/sampling never split the
-    // key). The first scenario of each snapshotKey() publishes its
-    // phase-1 snapshot; everyone after replays it. Two workers racing
-    // on the same key both simulate — wasted work, never wrong — and
-    // the first insert wins. shared_ptr<const> lets replayers read
-    // while the map keeps growing.
+    // Cross-worker snapshot cache for the ungrouped schedule, scoped
+    // to this run (engine options are uniform within it, so
+    // with_trace/sampling never split the key). The first scenario
+    // of each snapshotKey() publishes its phase-1 snapshot; everyone
+    // after replays it. Two workers racing on the same key both
+    // simulate — wasted work, never wrong — and the first insert
+    // wins. shared_ptr<const> lets replayers read while the map
+    // keeps growing. Unused when grouping already made each key a
+    // single unit.
     std::mutex snapshot_mutex;
     std::unordered_map<std::string,
                        std::shared_ptr<const ActivitySnapshot>>
@@ -203,24 +326,70 @@ SimulationEngine::run(const SweepSpec &spec) const
         // and with it the power model — alive across them.
         std::unique_ptr<Simulator> cached;
         std::string cached_fp;
+        // Reusable batched-evaluation scratch, shared by every group
+        // this worker replays.
+        power::BatchedPowerEvaluator::Workspace batch_ws;
+
+        auto acquire = [&](const Scenario &scenario) -> Simulator & {
+            if (_options.reuse_simulators) {
+                std::string fp = scenario.config.toXml();
+                if (cached && cached_fp == fp) {
+                    cached->recycle();
+                } else {
+                    cached =
+                        std::make_unique<Simulator>(scenario.config);
+                }
+                cached_fp = std::move(fp);
+            } else {
+                cached = std::make_unique<Simulator>(scenario.config);
+                cached_fp.clear();
+            }
+            return *cached;
+        };
+
         for (;;) {
-            std::size_t i = cursor.fetch_add(1);
-            if (i >= total)
+            std::size_t u = cursor.fetch_add(1);
+            if (u >= units.size())
                 return;
-            const Scenario &scenario = scenarios[i];
-            auto record_error = [&]() {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (scenario.index < error_index) {
-                    error_index = scenario.index;
-                    error = std::current_exception();
+            const std::vector<std::size_t> &unit = units[u];
+            // Members publish in ascending index order, so on an
+            // exception the first unpublished member is the failing
+            // one — deterministic error attribution for groups too.
+            std::size_t published_in_unit = 0;
+            auto publish = [&](ScenarioResult result) {
+                std::size_t idx = result.scenario.index;
+                std::size_t completed = done.fetch_add(1) + 1;
+                table.set(std::move(result));
+                ++published_in_unit;
+                // The result is published before the progress hook
+                // runs, so a throwing callback cannot drop it; the
+                // callback's exception still surfaces from run().
+                if (_options.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    _options.progress(table.at(idx), completed,
+                                      total);
                 }
             };
             try {
+                if (unit.size() > 1) {
+                    // Capture once on the unit's first scenario,
+                    // then batch-replay the power-only variants.
+                    const Scenario &first = scenarios[unit.front()];
+                    ActivitySnapshot captured;
+                    publish(runScenario(first, acquire(first),
+                                        &captured));
+                    replayGroup(*this, scenarios, unit, captured,
+                                batch_ws, publish, replayed);
+                    continue;
+                }
+
+                const Scenario &scenario = scenarios[unit.front()];
                 // Memoization first: a cache hit skips the timing
                 // run entirely.
                 std::string key;
                 std::shared_ptr<const ActivitySnapshot> snapshot;
-                if (_options.memoize && scenario.replayable()) {
+                if (!grouped && _options.memoize &&
+                    scenario.replayable()) {
                     key = scenario.snapshotKey();
                     std::lock_guard<std::mutex> lock(snapshot_mutex);
                     auto it = snapshots.find(key);
@@ -228,52 +397,34 @@ SimulationEngine::run(const SweepSpec &spec) const
                         snapshot = it->second;
                 }
 
-                if (_options.reuse_simulators) {
-                    std::string fp = scenario.config.toXml();
-                    if (cached && cached_fp == fp) {
-                        cached->recycle();
-                    } else {
-                        cached = std::make_unique<Simulator>(
-                            scenario.config);
-                    }
-                    cached_fp = std::move(fp);
-                } else {
-                    cached =
-                        std::make_unique<Simulator>(scenario.config);
-                    cached_fp.clear();
-                }
-
+                Simulator &sim = acquire(scenario);
                 ScenarioResult result;
                 if (snapshot) {
-                    result =
-                        replayScenario(scenario, *snapshot, *cached);
+                    result = replayScenario(scenario, *snapshot, sim);
                     replayed.fetch_add(1);
                 } else if (!key.empty()) {
                     auto captured =
                         std::make_shared<ActivitySnapshot>();
-                    result = runScenario(scenario, *cached,
-                                         captured.get());
+                    result =
+                        runScenario(scenario, sim, captured.get());
                     std::lock_guard<std::mutex> lock(snapshot_mutex);
                     snapshots.emplace(key, std::move(captured));
                 } else {
-                    result = runScenario(scenario, *cached, nullptr);
+                    result = runScenario(scenario, sim, nullptr);
                 }
-                std::size_t completed = done.fetch_add(1) + 1;
-                table.set(std::move(result));
-                // The result is published before the progress hook
-                // runs, so a throwing callback cannot drop it; the
-                // callback's exception still surfaces from run().
-                if (_options.progress) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    _options.progress(table.at(scenario.index),
-                                      completed, total);
-                }
+                publish(std::move(result));
             } catch (...) {
                 // The failed run may have left the Simulator mid-
                 // kernel; never recycle it into another scenario.
                 cached.reset();
                 cached_fp.clear();
-                record_error();
+                std::size_t fail = scenarios[unit[std::min(
+                    published_in_unit, unit.size() - 1)]].index;
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (fail < error_index) {
+                    error_index = fail;
+                    error = std::current_exception();
+                }
             }
         }
     };

@@ -23,6 +23,13 @@
  * that differs only in power-only axes (process node, vdd_scale,
  * cooling) replays the power phase from that snapshot — bit-identical
  * to a full run, minus the entire timing simulation.
+ *
+ * With batch_replay (the default) the memoized variants of one
+ * snapshot key are scheduled as a single work unit and their traced
+ * intervals are evaluated together through the batched matrix
+ * evaluator — many intervals x many power variants per pass — which
+ * also removes the legacy cache's duplicated-capture race between
+ * workers that start the same key concurrently.
  */
 
 #ifndef GPUSIMPOW_SIM_ENGINE_HH
@@ -65,6 +72,19 @@ struct EngineOptions
      * way; `gpusimpow --sweep --no-memo` is the CLI escape hatch.
      */
     bool memoize = true;
+    /**
+     * Replay all memoized power-only variants of a timing-unique
+     * snapshot together: the engine groups scenarios by
+     * Scenario::snapshotKey(), the first scenario of each group runs
+     * timing once, and the rest evaluate their traced intervals
+     * through the batched matrix evaluator (power/batched.hh) in one
+     * pass instead of re-walking the scalar per-interval loop per
+     * variant. Only scheduling and throughput change — every result
+     * is bit-identical with the knob on or off (the batched
+     * evaluator's contract, asserted by test_batched_power). Ignored
+     * unless memoize is also set.
+     */
+    bool batch_replay = true;
     /**
      * Called after each scenario finishes (from worker threads, but
      * serialized by the engine): finished result, completed count,

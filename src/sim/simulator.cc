@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "power/batched.hh"
 
 namespace gpusimpow {
 
@@ -120,27 +121,40 @@ Simulator::capturePerf(const perf::KernelProgram &prog,
 }
 
 KernelRun
-Simulator::evaluateSamples(const KernelSnapshot &snap)
+Simulator::evaluateSamples(const KernelSnapshot &snap,
+                           const power::BatchedKernelPower *batched)
 {
     KernelRun run;
     run.perf = snap.perf;
+    if (batched) {
+        GSP_ASSERT(batched->n_intervals == snap.samples.size(),
+                   "batched power rows do not match the snapshot");
+    }
 
     // Per-interval power evaluation runs on the compiled model: a
     // handful of dot products into a reused workspace, instead of a
-    // PowerNode tree per sample.
+    // PowerNode tree per sample — or, on the batched replay path,
+    // reads the rows a BatchedPowerEvaluator already produced for
+    // this variant (bit-identical by its contract).
     const power::CompiledPowerModel &cpm = _power->compiled();
     bool thermal_on = _cfg.thermal.enabled;
     if (snap.with_trace && !thermal_on) {
         double static_w = _power->staticPower();
         run.trace.reserve(snap.samples.size());
-        for (const ActivitySample &a : snap.samples) {
-            cpm.evaluate(a.delta, _eval);
+        for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+            const ActivitySample &a = snap.samples[i];
             PowerSample s;
             s.t0 = a.t0;
             s.t1 = a.t1;
-            s.dynamic_w = _eval.dynamic_w;
+            if (batched) {
+                s.dynamic_w = batched->dynamic_w[i];
+                s.dram_w = batched->dram_w[i];
+            } else {
+                cpm.evaluate(a.delta, _eval);
+                s.dynamic_w = _eval.dynamic_w;
+                s.dram_w = _eval.dram_w;
+            }
             s.static_w = static_w;
-            s.dram_w = _eval.dram_w;
             run.trace.push_back(s);
         }
     } else if (snap.with_trace) {
@@ -148,24 +162,61 @@ Simulator::evaluateSamples(const KernelSnapshot &snap)
         // the RC network under that interval's block powers, with
         // the leakage share of the next interval re-evaluated at the
         // current transient temperatures — the feedback loop, sampled.
+        // The batched rows carry the per-block dynamic split and the
+        // nominal-temperature statics, so the temperature-dependent
+        // leakage scale stays a per-interval scalar either way.
         ensureThermal();
+        if (batched) {
+            GSP_ASSERT(snap.samples.empty() ||
+                           (batched->n_blocks == _blocks.size() &&
+                            !batched->static_blocks.empty()),
+                       "batched power rows lack the per-block split "
+                       "the thermal march needs");
+        }
         run.trace.reserve(snap.samples.size());
         run.thermal.trace.reserve(snap.samples.size());
-        for (const ActivitySample &a : snap.samples) {
-            cpm.evaluate(a.delta, _eval);
-            const std::vector<power::BlockPower> &bp = _eval.blocks;
+        for (std::size_t si = 0; si < snap.samples.size(); ++si) {
+            const ActivitySample &a = snap.samples[si];
+            double dynamic_w, dram_w;
+            const double *block_dyn = nullptr;
+            const power::BlockPower *block_static = nullptr;
+            if (batched) {
+                dynamic_w = batched->dynamic_w[si];
+                dram_w = batched->dram_w[si];
+                block_dyn = batched->block_dynamic_w.data() +
+                            si * batched->n_blocks;
+                block_static = batched->static_blocks.data();
+            } else {
+                cpm.evaluate(a.delta, _eval);
+                dynamic_w = _eval.dynamic_w;
+                dram_w = _eval.dram_w;
+            }
             if (!_thermal_state.initialized)
                 _thermal_state = _network->ambientState();
-            _block_powers.assign(bp.size(), 0.0);
+            _block_powers.assign(_blocks.size(), 0.0);
             double chip_static = 0.0;
-            for (std::size_t i = 0; i < bp.size(); ++i) {
+            for (std::size_t i = 0; i < _blocks.size(); ++i) {
+                double dyn, sub, fixed;
+                if (batched) {
+                    dyn = block_dyn[i];
+                    sub = block_static[i].sub_leak_w;
+                    // The DRAM board block's fixed share is the
+                    // per-interval DRAM power (batched rows keep it
+                    // out of the static split).
+                    fixed = i == _blocks.dramIndex()
+                                ? dram_w
+                                : block_static[i].fixed_w;
+                } else {
+                    dyn = _eval.blocks[i].dynamic_w;
+                    sub = _eval.blocks[i].sub_leak_w;
+                    fixed = _eval.blocks[i].fixed_w;
+                }
                 double leak =
-                    bp[i].sub_leak_w *
+                    sub *
                     cpm.subLeakScaleAt(_thermal_state.temps_k[i]);
-                _block_powers[i] =
-                    bp[i].dynamic_w + leak + bp[i].fixed_w;
+                _block_powers[i] = dyn + leak + fixed;
                 if (i != _blocks.dramIndex())
-                    chip_static += leak + bp[i].fixed_w;
+                    chip_static += leak + fixed;
             }
             _network->advance(_thermal_state, _block_powers,
                               a.t1 - a.t0);
@@ -173,9 +224,9 @@ Simulator::evaluateSamples(const KernelSnapshot &snap)
             PowerSample s;
             s.t0 = a.t0;
             s.t1 = a.t1;
-            s.dynamic_w = _eval.dynamic_w;
+            s.dynamic_w = dynamic_w;
             s.static_w = chip_static;
-            s.dram_w = _eval.dram_w;
+            s.dram_w = dram_w;
             run.trace.push_back(s);
 
             ThermalSample ts;
@@ -193,11 +244,18 @@ Simulator::evaluateSamples(const KernelSnapshot &snap)
 KernelRun
 Simulator::replayKernel(const KernelSnapshot &snap)
 {
+    return replayKernel(snap, nullptr);
+}
+
+KernelRun
+Simulator::replayKernel(const KernelSnapshot &snap,
+                        const power::BatchedKernelPower *batched)
+{
     if (_cfg.thermal.enabled && _cfg.thermal.throttle)
         fatal("cannot replay a snapshot under a throttling governor: "
               "its power-to-clock feedback changes timing; run the "
               "kernel in full instead");
-    KernelRun run = evaluateSamples(snap);
+    KernelRun run = evaluateSamples(snap, batched);
     if (!_cfg.thermal.enabled)
         return run;
     // Ungoverned thermal: whole-kernel steady solve at the measured
@@ -216,7 +274,8 @@ Simulator::runOnce(const perf::KernelProgram &prog,
                    double sample_interval_s)
 {
     return evaluateSamples(
-        capturePerf(prog, launch, with_trace, sample_interval_s));
+        capturePerf(prog, launch, with_trace, sample_interval_s),
+        nullptr);
 }
 
 double

@@ -30,6 +30,10 @@
 
 namespace gpusimpow {
 
+namespace power {
+struct BatchedKernelPower;
+}
+
 /** One sampled point of a simulated power waveform. */
 struct PowerSample
 {
@@ -172,6 +176,19 @@ class Simulator
     KernelRun replayKernel(const KernelSnapshot &snap);
 
     /**
+     * replayKernel() with this configuration's per-interval power
+     * already computed by a BatchedPowerEvaluator over the
+     * snapshot's samples (power/batched.hh): the trace loops consume
+     * the precomputed dynamic/DRAM rows instead of re-running the
+     * scalar per-interval evaluation, which is where a multi-variant
+     * sweep replay spends its time. Bit-identical to
+     * replayKernel(snap) by the batched evaluator's contract;
+     * batched == nullptr is exactly replayKernel(snap).
+     */
+    KernelRun replayKernel(const KernelSnapshot &snap,
+                           const power::BatchedKernelPower *batched);
+
+    /**
      * Reset device-visible state so the next workload runs exactly as
      * it would on a freshly constructed Simulator, without rebuilding
      * the (expensive) power model. Restores the configured operating
@@ -207,8 +224,11 @@ class Simulator
     void applyFreqScale(double freq_scale);
     /** Evaluate the per-interval power (and, with thermal on, march
      *  the transient state) over a snapshot's samples, plus the
-     *  whole-kernel nominal-temperature report. */
-    KernelRun evaluateSamples(const KernelSnapshot &snap);
+     *  whole-kernel nominal-temperature report. When batched is
+     *  non-null the per-interval values come from its precomputed
+     *  rows instead of the scalar compiled evaluation. */
+    KernelRun evaluateSamples(const KernelSnapshot &snap,
+                              const power::BatchedKernelPower *batched);
     KernelRun runOnce(const perf::KernelProgram &prog,
                       const perf::LaunchConfig &launch,
                       bool with_trace, double sample_interval_s);

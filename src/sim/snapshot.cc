@@ -1,5 +1,6 @@
 #include "sim/snapshot.hh"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -27,6 +28,19 @@ readCount(std::istream &in, const char *context)
     return n;
 }
 
+/** Read a time-like quantity: a finite non-negative double. NaN,
+ *  infinities, and negative spans are corruption — and they would
+ *  silently poison every downstream duration and rate. */
+double
+readTimeToken(std::istream &in, const char *context)
+{
+    double v = readDoubleToken(in, context);
+    if (!std::isfinite(v) || v < 0.0)
+        fatal("malformed record: ", context, " ", v,
+              " is not a finite non-negative time");
+    return v;
+}
+
 /** Labels are serialized as the remainder of their line, so kernel
  *  names with unusual characters survive unharmed. */
 std::string
@@ -49,8 +63,11 @@ parseSample(std::istream &in)
 {
     ActivitySample s;
     expectToken(in, "sample");
-    s.t0 = readDoubleToken(in, "sample t0");
-    s.t1 = readDoubleToken(in, "sample t1");
+    s.t0 = readTimeToken(in, "sample t0");
+    s.t1 = readTimeToken(in, "sample t1");
+    if (s.t1 < s.t0)
+        fatal("malformed record: sample interval runs backwards "
+              "(t0 ", s.t0, ", t1 ", s.t1, ")");
     s.delta = perf::ChipActivity::parse(in);
     return s;
 }
@@ -76,12 +93,12 @@ parseKernel(std::istream &in)
     expectToken(in, "kernel");
     k.label = readLabelLine(in);
     expectToken(in, "flags");
-    k.repeatable = readU64Token(in, "repeatable flag") != 0;
-    k.with_trace = readU64Token(in, "with_trace flag") != 0;
+    k.repeatable = readFlagToken(in, "repeatable flag");
+    k.with_trace = readFlagToken(in, "with_trace flag");
     expectToken(in, "perf");
     k.perf.cycles = readU64Token(in, "cycles");
     k.perf.instructions = readU64Token(in, "instructions");
-    k.perf.time_s = readDoubleToken(in, "time_s");
+    k.perf.time_s = readTimeToken(in, "time_s");
     k.perf.activity = perf::ChipActivity::parse(in);
     expectToken(in, "samples");
     uint64_t n_samples = readCount(in, "sample count");
@@ -125,13 +142,20 @@ ActivitySnapshot::parse(const std::string &text)
     expectToken(in, "workload");
     snap.workload = readLabelLine(in);
     expectToken(in, "scale");
-    snap.scale = static_cast<unsigned>(readU64Token(in, "scale"));
+    snap.scale = readU32Token(in, "scale");
     expectToken(in, "with_trace");
-    snap.with_trace = readU64Token(in, "with_trace flag") != 0;
+    snap.with_trace = readFlagToken(in, "with_trace flag");
     expectToken(in, "sample_interval_s");
-    snap.sample_interval_s = readDoubleToken(in, "sample_interval_s");
+    snap.sample_interval_s =
+        readTimeToken(in, "sample_interval_s");
+    // An untraced snapshot legitimately carries no sampling period,
+    // but a traced one sampled at 0 could never have produced its
+    // samples — reject the contradiction.
+    if (snap.with_trace && snap.sample_interval_s <= 0.0)
+        fatal("malformed record: traced snapshot requires "
+              "sample_interval_s > 0, got ", snap.sample_interval_s);
     expectToken(in, "verified");
-    snap.verified = readU64Token(in, "verified flag") != 0;
+    snap.verified = readFlagToken(in, "verified flag");
     expectToken(in, "kernels");
     uint64_t n_kernels = readCount(in, "kernel count");
     snap.kernels.reserve(n_kernels);

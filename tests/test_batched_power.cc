@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Batched-vs-scalar equivalence: BatchedPowerEvaluator packs many
+ * activity intervals and many power-model variants into dense matrix
+ * kernels, but its contract is that every output is *bit-identical*
+ * to the per-interval CompiledPowerModel::evaluate() it replaces.
+ * This suite drives randomized interval batches across both Table II
+ * chips, process nodes, and DVFS operating points, checks the
+ * nominal block statics against the scalar split, and checks that
+ * the per-block thermal rescale the simulator applies on top of the
+ * batched rows reproduces evaluateAt() exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "perf/activity.hh"
+#include "power/batched.hh"
+#include "power/chip_power.hh"
+#include "power/compiled.hh"
+
+using namespace gpusimpow;
+using namespace gpusimpow::power;
+
+namespace {
+
+perf::ChipActivity
+randomActivity(const GpuConfig &cfg, SplitMix64 &rng)
+{
+    perf::ChipActivity act;
+    act.cores.resize(cfg.numCores());
+    for (perf::CoreActivity &c : act.cores) {
+#define X(name) c.name = rng.nextBounded(1u << 22);
+        GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    }
+#define X(name) act.mem.name = rng.nextBounded(1u << 24);
+    GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    act.cluster_busy_cycles.resize(cfg.clusters);
+    for (uint64_t &busy : act.cluster_busy_cycles)
+        busy = rng.nextBounded(1u << 22);
+    act.shader_cycles = 1u << 21;
+    act.gpu_busy_cycles = rng.nextBounded(act.shader_cycles + 1);
+    act.blocks_dispatched = rng.nextBounded(4096);
+    act.elapsed_s = rng.uniform(1e-5, 5e-3);
+    return act;
+}
+
+GpuConfig
+configFor(const GpuConfig &base, unsigned node_nm,
+          const OperatingPoint &op)
+{
+    GpuConfig cfg = base;
+    if (node_nm != cfg.tech.node_nm) {
+        cfg.tech.node_nm = node_nm;
+        cfg.tech.vdd = -1.0; // node-nominal supply
+    }
+    op.applyTo(cfg);
+    return cfg;
+}
+
+/** The power-only variant grid one timing fingerprint fans into:
+ *  every (node, operating point) combination of one chip. */
+std::vector<std::unique_ptr<GpuPowerModel>>
+variantModels(const GpuConfig &base)
+{
+    const std::vector<unsigned> nodes = {40u, 28u};
+    const std::vector<OperatingPoint> ops = {
+        {1.0, 1.0}, {0.9, 0.8}, {1.05, 1.0}};
+    std::vector<std::unique_ptr<GpuPowerModel>> models;
+    for (unsigned node : nodes)
+        for (const OperatingPoint &op : ops)
+            models.push_back(std::make_unique<GpuPowerModel>(
+                configFor(base, node, op)));
+    return models;
+}
+
+std::vector<const CompiledPowerModel *>
+compiledOf(const std::vector<std::unique_ptr<GpuPowerModel>> &models)
+{
+    std::vector<const CompiledPowerModel *> out;
+    for (const auto &m : models)
+        out.push_back(&m->compiled());
+    return out;
+}
+
+/** Bit-identity of one batched run against per-interval scalar
+ *  evaluate() for every (variant, interval) pair. */
+void
+expectBatchedMatchesScalar(
+    const std::vector<const CompiledPowerModel *> &variants,
+    const std::vector<perf::ChipActivity> &acts, bool want_blocks,
+    BatchedPowerEvaluator::Workspace &ws, const std::string &tag)
+{
+    SCOPED_TRACE(tag);
+    std::vector<const perf::ChipActivity *> ptrs;
+    for (const perf::ChipActivity &a : acts)
+        ptrs.push_back(&a);
+
+    BatchedPowerEvaluator evaluator(variants);
+    std::vector<BatchedKernelPower> batched;
+    evaluator.evaluate(ptrs, want_blocks, ws, batched);
+    ASSERT_EQ(batched.size(), variants.size());
+
+    CompiledPowerModel::Eval ev;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        SCOPED_TRACE("variant " + std::to_string(v));
+        const BatchedKernelPower &bp = batched[v];
+        ASSERT_EQ(bp.n_intervals, acts.size());
+        ASSERT_EQ(bp.dynamic_w.size(), acts.size());
+        ASSERT_EQ(bp.dram_w.size(), acts.size());
+        const std::size_t n_blocks = variants[v]->blocks().size();
+        ASSERT_EQ(bp.static_blocks.size(), n_blocks);
+        if (want_blocks) {
+            ASSERT_EQ(bp.n_blocks, n_blocks);
+            ASSERT_EQ(bp.block_dynamic_w.size(),
+                      acts.size() * n_blocks);
+        } else {
+            EXPECT_EQ(bp.n_blocks, 0u);
+            EXPECT_TRUE(bp.block_dynamic_w.empty());
+        }
+
+        for (std::size_t i = 0; i < acts.size(); ++i) {
+            SCOPED_TRACE("interval " + std::to_string(i));
+            variants[v]->evaluate(acts[i], ev);
+            EXPECT_EQ(bp.dynamic_w[i], ev.dynamic_w);
+            EXPECT_EQ(bp.dram_w[i], ev.dram_w);
+            const std::size_t dram = variants[v]->blocks().dramIndex();
+            for (std::size_t b = 0; b < n_blocks; ++b) {
+                if (want_blocks)
+                    EXPECT_EQ(bp.block_dynamic_w[i * n_blocks + b],
+                              ev.blocks[b].dynamic_w);
+                // The statics evaluate() computes are interval-
+                // independent at nominal temperature; the batched
+                // result carries them once. The DRAM board block's
+                // per-interval fixed share lives in dram_w instead.
+                EXPECT_EQ(bp.static_blocks[b].sub_leak_w,
+                          ev.blocks[b].sub_leak_w);
+                if (b == dram) {
+                    EXPECT_EQ(bp.static_blocks[b].fixed_w, 0.0);
+                    EXPECT_EQ(ev.blocks[b].fixed_w, ev.dram_w);
+                } else {
+                    EXPECT_EQ(bp.static_blocks[b].fixed_w,
+                              ev.blocks[b].fixed_w);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(BatchedPower, RandomizedBitIdentityAcrossChipsNodesOps)
+{
+    const std::vector<GpuConfig> chips = {GpuConfig::gt240(),
+                                          GpuConfig::gtx580()};
+    SplitMix64 rng(0xBA7C4ED0ULL);
+    BatchedPowerEvaluator::Workspace ws; // shared across every case
+
+    for (const GpuConfig &base : chips) {
+        auto models = variantModels(base);
+        auto variants = compiledOf(models);
+        // Interval counts straddling the internal tile size,
+        // including the empty batch and a lone interval.
+        for (std::size_t n : {std::size_t(0), std::size_t(1),
+                              std::size_t(31), std::size_t(32),
+                              std::size_t(77)}) {
+            std::vector<perf::ChipActivity> acts;
+            for (std::size_t i = 0; i < n; ++i)
+                acts.push_back(randomActivity(base, rng));
+            std::string tag =
+                base.name + "/" + std::to_string(n) + "ivals";
+            expectBatchedMatchesScalar(variants, acts, true, ws,
+                                       tag + "/blocks");
+            expectBatchedMatchesScalar(variants, acts, false, ws,
+                                       tag + "/totals");
+        }
+    }
+}
+
+TEST(BatchedPower, DegenerateIntervalsTakeGuardPaths)
+{
+    GpuConfig cfg = GpuConfig::gtx580();
+    auto models = variantModels(cfg);
+    auto variants = compiledOf(models);
+    BatchedPowerEvaluator::Workspace ws;
+
+    perf::ChipActivity idle;
+    idle.cores.resize(cfg.numCores());
+    idle.cluster_busy_cycles.assign(cfg.clusters, 0);
+    idle.shader_cycles = 1;
+    idle.elapsed_s = 1.0;
+
+    perf::ChipActivity degenerate = idle;
+    degenerate.elapsed_s = 0.0; // elapsed > 0 ? ... : 1.0 guard
+    degenerate.shader_cycles = 0; // cycles guard
+
+    std::vector<perf::ChipActivity> acts = {idle, degenerate};
+    expectBatchedMatchesScalar(variants, acts, true, ws, "guards");
+}
+
+TEST(BatchedPower, ThermalRescaleOfStaticsMatchesScalarMarch)
+{
+    // The simulator's thermal march rescales nominal block sub-leak
+    // sums by subLeakScaleAt(block temperature) — identically on the
+    // scalar path (Eval::blocks of a nominal evaluate()) and on the
+    // batched rows. Bit-identity of the batched statics with the
+    // nominal Eval (checked here and in the randomized suite) is
+    // therefore exactly the replay contract. evaluateAt(), which
+    // scales each component *before* summing, may differ from the
+    // sum-then-scale march by association order only — pin that
+    // relationship down with a tight relative tolerance so a real
+    // modeling divergence cannot hide behind it.
+    GpuConfig cfg = GpuConfig::gt240();
+    auto models = variantModels(cfg);
+    auto variants = compiledOf(models);
+    BatchedPowerEvaluator::Workspace ws;
+    SplitMix64 rng(0x7E3A11ULL);
+
+    std::vector<perf::ChipActivity> acts = {randomActivity(cfg, rng)};
+    std::vector<const perf::ChipActivity *> ptrs = {&acts[0]};
+    BatchedPowerEvaluator evaluator(variants);
+    std::vector<BatchedKernelPower> batched;
+    evaluator.evaluate(ptrs, true, ws, batched);
+
+    CompiledPowerModel::Eval nominal, at;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        SCOPED_TRACE("variant " + std::to_string(v));
+        const CompiledPowerModel &cpm = *variants[v];
+        std::vector<double> temps(cpm.blocks().size());
+        for (double &t : temps)
+            t = rng.uniform(310.0, 400.0);
+        cpm.evaluate(acts[0], nominal);
+        cpm.evaluateAt(acts[0], temps, at);
+        const BatchedKernelPower &bp = batched[v];
+        for (std::size_t b = 0; b < temps.size(); ++b) {
+            SCOPED_TRACE("block " + std::to_string(b));
+            double scale = cpm.subLeakScaleAt(temps[b]);
+            // What the scalar march feeds the RC network...
+            double scalar_leak = nominal.blocks[b].sub_leak_w * scale;
+            // ...is bit-identical to the batched march's input.
+            EXPECT_EQ(bp.static_blocks[b].sub_leak_w * scale,
+                      scalar_leak);
+            // And the component-wise evaluateAt() split agrees up to
+            // summation association order.
+            EXPECT_NEAR(scalar_leak, at.blocks[b].sub_leak_w,
+                        1e-12 * at.blocks[b].sub_leak_w + 1e-300);
+            EXPECT_EQ(bp.block_dynamic_w[b], at.blocks[b].dynamic_w);
+        }
+    }
+}
+
+TEST(BatchedPower, WorkspaceReuseAcrossShapesIsIdempotent)
+{
+    // One per-worker workspace serves batches of different chips,
+    // core counts, and interval counts back to back; stale tile
+    // contents must never leak into a later evaluation.
+    SplitMix64 rng(99);
+    BatchedPowerEvaluator::Workspace ws;
+
+    GpuConfig big = GpuConfig::gtx580();
+    GpuConfig small = GpuConfig::gt240();
+    auto big_models = variantModels(big);
+    auto small_models = variantModels(small);
+    auto big_variants = compiledOf(big_models);
+    auto small_variants = compiledOf(small_models);
+
+    std::vector<perf::ChipActivity> big_acts;
+    for (int i = 0; i < 40; ++i)
+        big_acts.push_back(randomActivity(big, rng));
+    std::vector<perf::ChipActivity> small_acts;
+    for (int i = 0; i < 7; ++i)
+        small_acts.push_back(randomActivity(small, rng));
+
+    // Dirty the workspace with the big shape, then check the small
+    // one (and vice versa) against fresh scalar evaluations.
+    expectBatchedMatchesScalar(big_variants, big_acts, true, ws,
+                               "big-first");
+    expectBatchedMatchesScalar(small_variants, small_acts, true, ws,
+                               "small-after-big");
+    expectBatchedMatchesScalar(big_variants, big_acts, false, ws,
+                               "big-again");
+}

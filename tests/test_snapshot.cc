@@ -121,12 +121,13 @@ powerAxesSweep()
 
 SweepResult
 runSweep(const SweepSpec &spec, unsigned jobs, bool memoize,
-         bool with_trace = false)
+         bool with_trace = false, bool batch_replay = true)
 {
     EngineOptions opt;
     opt.jobs = jobs;
     opt.memoize = memoize;
     opt.with_trace = with_trace;
+    opt.batch_replay = batch_replay;
     return SimulationEngine(opt).run(spec);
 }
 
@@ -310,6 +311,120 @@ TEST(Snapshot, SerializationRejectsGarbage)
                  FatalError);
 }
 
+namespace {
+
+/** Minimal kernel-less snapshot text with substitutable header
+ *  fields, for targeted malformed-input probes. */
+std::string
+snapshotHeader(const std::string &scale, const std::string &with_trace,
+               const std::string &interval)
+{
+    return "gpusimpow-activity-snapshot v1\n"
+           "workload vectoradd\n"
+           "scale " + scale + "\n"
+           "with_trace " + with_trace + "\n"
+           "sample_interval_s " + interval + "\n"
+           "verified 0\nkernels 0\n";
+}
+
+} // namespace
+
+TEST(Snapshot, ParserRejectsOutOfRangeScale)
+{
+    // The 32-bit boundary itself is a legal scale...
+    EXPECT_EQ(ActivitySnapshot::parse(
+                  snapshotHeader("4294967295", "0", "0x0p+0")).scale,
+              4294967295u);
+    // ...but one past it used to truncate silently to 0 through
+    // static_cast<unsigned>; it must be a parse error instead.
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("4294967296", "0", "0x0p+0")),
+                 FatalError);
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("18446744073709551615", "0",
+                                    "0x0p+0")),
+                 FatalError);
+}
+
+TEST(Snapshot, ParserRejectsNonBooleanFlags)
+{
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("1", "2", "0x0p+0")),
+                 FatalError);
+}
+
+TEST(Snapshot, ParserRejectsInvalidSampleInterval)
+{
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("1", "0", "-0x1p-10")),
+                 FatalError);
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("1", "0", "nan")),
+                 FatalError);
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("1", "0", "inf")),
+                 FatalError);
+    // A traced snapshot sampled at 0 is self-contradictory; the
+    // same interval on an untraced snapshot is the legal default.
+    EXPECT_THROW(ActivitySnapshot::parse(
+                     snapshotHeader("1", "1", "0x0p+0")),
+                 FatalError);
+    EXPECT_NO_THROW(ActivitySnapshot::parse(
+        snapshotHeader("1", "0", "0x0p+0")));
+}
+
+TEST(Snapshot, ParserRejectsInvalidSamplesAndTimes)
+{
+    // Corrupt individual lines of a genuine traced snapshot, so
+    // everything around the probed field stays structurally valid.
+    Scenario scenario;
+    scenario.config = GpuConfig::gt240();
+    scenario.workload = "vectoradd";
+    EngineOptions opt;
+    opt.with_trace = true;
+    SimulationEngine engine(opt);
+    Simulator sim(scenario.config);
+    ActivitySnapshot captured;
+    engine.runScenario(scenario, sim, &captured);
+    ASSERT_FALSE(captured.kernels.empty());
+    ASSERT_FALSE(captured.kernels[0].samples.empty());
+    const std::string text = captured.serialize();
+    ASSERT_NO_THROW(ActivitySnapshot::parse(text)); // control
+
+    auto corrupt_line = [&](const char *marker,
+                            const std::string &replacement) {
+        std::size_t pos = text.find(marker);
+        EXPECT_NE(pos, std::string::npos) << marker;
+        std::size_t eol = text.find('\n', pos + 1);
+        std::string t = text;
+        t.replace(pos + 1, eol - pos - 1, replacement);
+        return t;
+    };
+    // A sample interval running backwards (t1 < t0).
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\nsample ", "sample 0x1p+0 0x1p-1")),
+                 FatalError);
+    // Non-finite and negative sample bounds.
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\nsample ", "sample nan 0x1p-1")),
+                 FatalError);
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\nsample ", "sample -0x1p-1 0x1p+0")),
+                 FatalError);
+    // Negative kernel time_s.
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\nperf ", "perf 1 1 -0x1p+0")),
+                 FatalError);
+    // Non-boolean kernel flags.
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\nflags ", "flags 2 0")),
+                 FatalError);
+    // Non-finite activity elapsed_s.
+    EXPECT_THROW(ActivitySnapshot::parse(corrupt_line(
+                     "\ntotals ", "totals 1 1 1 inf")),
+                 FatalError);
+}
+
 TEST(ActivitySerialization, RejectsImplausibleCounts)
 {
     std::istringstream in("chip-activity 9999999999999999 0 46 10\n");
@@ -468,6 +583,50 @@ TEST(Engine, MemoizedSweepWithTracesBitIdentical)
     EXPECT_FALSE(memo.at(0).kernels[0].run.trace.empty());
     EXPECT_FALSE(memo.at(1).kernels[0].run.thermal.trace.empty());
     expectSweepsEqual(memo, full);
+}
+
+TEST(Engine, BatchedReplayBitIdenticalOnAndOff)
+{
+    // batch_replay changes scheduling and the evaluator (grouped
+    // units + matrix kernels vs. the per-scenario memo cache), but
+    // every published number must stay byte-identical, at one worker
+    // and at several.
+    SweepSpec spec = powerAxesSweep();
+    SweepResult on1 = runSweep(spec, 1, true, /*with_trace=*/true,
+                               /*batch_replay=*/true);
+    SweepResult off1 = runSweep(spec, 1, true, /*with_trace=*/true,
+                                /*batch_replay=*/false);
+    EXPECT_EQ(on1.replayedScenarios(), spec.size() - 2);
+    EXPECT_EQ(off1.replayedScenarios(), spec.size() - 2);
+    expectSweepsEqual(on1, off1);
+
+    SweepResult on4 = runSweep(spec, 4, true, /*with_trace=*/true,
+                               /*batch_replay=*/true);
+    SweepResult off4 = runSweep(spec, 4, true, /*with_trace=*/true,
+                                /*batch_replay=*/false);
+    EXPECT_EQ(on4.replayedScenarios(), spec.size() - 2);
+    expectSweepsEqual(on1, on4);
+    expectSweepsEqual(on4, off4);
+}
+
+TEST(Engine, BatchedReplayNonThermalTracesBitIdentical)
+{
+    // No cooling axis -> thermal disabled: exercises the batched
+    // dynamic/dram trace path rather than the per-block march.
+    SweepSpec spec;
+    spec.configs = {GpuConfig::gt240()};
+    spec.tech_nodes = {40u, 28u};
+    spec.operating_points = OperatingPoint::parseList("0.9:1,1:1");
+    spec.workloads = {"vectoradd"};
+    SweepResult on = runSweep(spec, 1, true, /*with_trace=*/true,
+                              /*batch_replay=*/true);
+    SweepResult off = runSweep(spec, 1, true, /*with_trace=*/true,
+                               /*batch_replay=*/false);
+    // 4 scenarios (2 nodes x 2 vdd points) share one timing key.
+    EXPECT_EQ(on.replayedScenarios(), 3u);
+    ASSERT_FALSE(on.at(0).kernels.empty());
+    EXPECT_FALSE(on.at(0).kernels[0].run.trace.empty());
+    expectSweepsEqual(on, off);
 }
 
 TEST(Engine, FreqScaleScenariosNeverShareSnapshots)
