@@ -16,7 +16,7 @@
  * stdout as Google-Benchmark-style JSON (human output moves to
  * stderr) for the CI regression gate; see
  * bench/check_bench_regression.py and bench/baseline.json
- * (power_eval/* metrics, acceptance floor: compiled >= 5x tree).
+ * (the power_eval metrics, acceptance floor: compiled >= 5x tree).
  */
 
 #include <chrono>

@@ -41,5 +41,13 @@ panicAbort(const std::string &message)
     std::abort();
 }
 
+void
+panicAbortAt(const char *file, int line, const std::string &message)
+{
+    std::cerr << "[gpusimpow:panic] " << file << ":" << line << ": "
+              << message << std::endl;
+    std::abort();
+}
+
 } // namespace detail
 } // namespace gpusimpow

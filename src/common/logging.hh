@@ -71,6 +71,8 @@ concat(Args &&...args)
 
 [[noreturn]] void fatalExit(const std::string &message);
 [[noreturn]] void panicAbort(const std::string &message);
+[[noreturn]] void panicAbortAt(const char *file, int line,
+                               const std::string &message);
 
 } // namespace detail
 
@@ -114,14 +116,40 @@ panic(Args &&...args)
     detail::panicAbort(detail::concat(std::forward<Args>(args)...));
 }
 
-/** panic() unless the condition holds. */
+/** panic() with the callsite's file:line prepended — preferred over
+ *  a direct panic() call so crash reports name the failing check. */
+#define GSP_PANIC(...)                                                  \
+    ::gpusimpow::detail::panicAbortAt(                                  \
+        __FILE__, __LINE__,                                             \
+        ::gpusimpow::detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds; the message carries the
+ *  callsite's file:line. */
 #define GSP_ASSERT(cond, ...)                                           \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::gpusimpow::panic("assertion '" #cond "' failed: ",        \
-                               ##__VA_ARGS__);                          \
+            ::gpusimpow::detail::panicAbortAt(                          \
+                __FILE__, __LINE__,                                     \
+                ::gpusimpow::detail::concat(                            \
+                    "assertion '" #cond "' failed: ",                   \
+                    ##__VA_ARGS__));                                    \
         }                                                               \
     } while (0)
+
+/**
+ * Debug-only assertion for hot-path bounds/finiteness checks:
+ * identical to GSP_ASSERT in Debug builds, compiled out entirely
+ * (condition not evaluated) under NDEBUG so Release benchmarks and
+ * the bench/baseline.json gates are unaffected.
+ */
+#ifdef NDEBUG
+#define GSP_DCHECK(cond, ...)                                           \
+    do {                                                                \
+        (void)sizeof(cond);                                             \
+    } while (0)
+#else
+#define GSP_DCHECK(cond, ...) GSP_ASSERT(cond, ##__VA_ARGS__)
+#endif
 
 } // namespace gpusimpow
 

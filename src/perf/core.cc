@@ -713,7 +713,7 @@ Core::executeMemory(Warp &warp, const Instruction &inst,
         return t_done;
       }
       default:
-        panic("executeMemory on non-memory opcode");
+        GSP_PANIC("executeMemory on non-memory opcode");
     }
 }
 
@@ -842,8 +842,8 @@ Core::executeInstruction(Warp &warp, const Instruction &inst,
             write_result = false;
             break;
           default:
-            panic("executeInstruction on unexpected opcode ",
-                  opName(inst.op));
+            GSP_PANIC("executeInstruction on unexpected opcode ",
+                      opName(inst.op));
         }
         if (write_result)
             threadReg(blk, tid, inst.dst.value) = result;

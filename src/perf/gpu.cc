@@ -191,8 +191,8 @@ Gpu::run(const KernelProgram &prog, const LaunchConfig &launch,
         if (!any_busy && next_block >= pending.size())
             break;
         if (cycle > max_shader_cycles)
-            panic("kernel ", prog.name, " exceeded ", max_shader_cycles,
-                  " shader cycles — livelock?");
+            GSP_PANIC("kernel ", prog.name, " exceeded ",
+                      max_shader_cycles, " shader cycles — livelock?");
     }
 
     _memsys.updateDramCounters();

@@ -51,6 +51,9 @@ class GlobalMemory
     static constexpr uint32_t page_bits = 16;  // 64 KB pages
     static constexpr uint32_t page_size = 1u << page_bits;
 
+    // lint: unordered-ok(addressed by page key only, never iterated;
+    // reads/writes go through load/store/read/write, so hash order is
+    // unobservable to kernels and verification)
     std::unordered_map<uint32_t, std::vector<uint8_t>> _pages;
 
     std::vector<uint8_t> &page(uint32_t addr);

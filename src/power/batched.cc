@@ -201,6 +201,12 @@ BatchedPowerEvaluator::evaluate(
     const perf::DotCountersSparseQuadFn quad =
         perf::dotCountersSparseQuadKernel();
     const std::size_t n_quads = _n_lanes / 4;
+    GSP_DCHECK(_n_lanes % 4 == 0 &&
+                   _core_quads.size() == n_quads * rows_per_variant &&
+                   _mem_quads.size() == n_quads * rows_per_variant,
+               "sparse quad stack shape mismatch: ", _n_lanes,
+               " lanes, ", _core_quads.size(), "/", _mem_quads.size(),
+               " quads");
 
     // Tile over intervals so the workspace footprint stays bounded
     // for arbitrarily long traces while each tile's packed rows stay

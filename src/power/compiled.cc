@@ -1,6 +1,7 @@
 #include "power/compiled.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/logging.hh"
@@ -121,6 +122,8 @@ CompiledPowerModel::evaluateImpl(const perf::ChipActivity &act,
     GSP_ASSERT(act.cores.size() == _n_cores,
                "activity record does not match configuration");
 
+    GSP_DCHECK(std::isfinite(act.elapsed_s),
+               "non-finite interval duration ", act.elapsed_s);
     double elapsed = act.elapsed_s > 0.0 ? act.elapsed_s : 1.0;
     out.elapsed_s = elapsed;
     double cycles = act.shader_cycles > 0
@@ -363,6 +366,21 @@ CompiledPowerModel::evaluateImpl(const perf::ChipActivity &act,
     da.row_open_frac = std::min(1.0, 4.0 * util);
     out.dram_w = _dram->compute(da).total();
     out.blocks[_blocks.dramIndex()].fixed_w = out.dram_w;
+
+    // Reused-Eval hygiene: the workspace vectors must have been
+    // (re)sized for *this* model, and the totals a trace loop
+    // integrates must be finite numbers — a stale or shared Eval
+    // would trip these before it poisons a waveform.
+    GSP_DCHECK(out.blocks.size() == _blocks.size() &&
+                   out.core_dyn.size() ==
+                       std::size_t(_n_cores) * kCoreComponents &&
+                   out.core_sub.size() == out.core_dyn.size(),
+               "Eval workspace shape does not match model");
+    GSP_DCHECK(std::isfinite(out.dynamic_w) &&
+                   std::isfinite(out.static_w) &&
+                   std::isfinite(out.dram_w),
+               "non-finite interval power totals: dyn ", out.dynamic_w,
+               " static ", out.static_w, " dram ", out.dram_w);
 }
 
 PowerReport

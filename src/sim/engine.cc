@@ -271,6 +271,9 @@ SimulationEngine::run(const SweepSpec &spec) const
     std::vector<std::vector<std::size_t>> units;
     units.reserve(total);
     if (grouped) {
+        // lint: unordered-ok(lookup/emplace only, never iterated;
+        // unit membership order comes from the ascending scenario
+        // index loop below, so hash order cannot reach results)
         std::unordered_map<std::string, std::size_t> unit_of;
         for (std::size_t i = 0; i < total; ++i) {
             if (!scenarios[i].replayable()) {
@@ -307,6 +310,9 @@ SimulationEngine::run(const SweepSpec &spec) const
     // keeps growing. Unused when grouping already made each key a
     // single unit.
     std::mutex snapshot_mutex;
+    // lint: unordered-ok(per-key find/emplace only, never iterated;
+    // results publish into index-addressed SweepResult slots, so the
+    // cache's hash order cannot reach output ordering)
     std::unordered_map<std::string,
                        std::shared_ptr<const ActivitySnapshot>>
         snapshots;

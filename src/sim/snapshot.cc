@@ -133,7 +133,10 @@ ActivitySnapshot::parse(const std::string &text)
     std::istringstream in(text);
     expectToken(in, snapshot_magic);
     std::string version = readToken(in, "snapshot version");
-    std::string expected = "v" + std::to_string(snapshot_version);
+    // Built with += rather than operator+ to sidestep gcc 12's
+    // spurious -Wrestrict on the inlined concatenation (PR105329).
+    std::string expected = "v";
+    expected += std::to_string(snapshot_version);
     if (version != expected)
         fatal("unsupported snapshot version '", version,
               "' (this build reads ", expected, ")");

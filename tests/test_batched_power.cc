@@ -132,9 +132,10 @@ expectBatchedMatchesScalar(
             EXPECT_EQ(bp.dram_w[i], ev.dram_w);
             const std::size_t dram = variants[v]->blocks().dramIndex();
             for (std::size_t b = 0; b < n_blocks; ++b) {
-                if (want_blocks)
+                if (want_blocks) {
                     EXPECT_EQ(bp.block_dynamic_w[i * n_blocks + b],
                               ev.blocks[b].dynamic_w);
+                }
                 // The statics evaluate() computes are interval-
                 // independent at nominal temperature; the batched
                 // result carries them once. The DRAM board block's

@@ -235,7 +235,7 @@ TEST(Snapshot, ReplayAcrossCoolingMatchesFullSimulation)
         snaps.push_back(capture_sim.capturePerf(kl.prog, kl.launch,
                                                 true));
 
-    for (const std::string &cooling : {"stock", "liquid"}) {
+    for (const char *cooling : {"stock", "liquid"}) {
         GpuConfig variant = base;
         variant.thermal.applyCooling(cooling);
         ASSERT_EQ(sim::timingFingerprint(base),

@@ -41,9 +41,10 @@ expectFullCoverage(const KernelRun &run)
     for (std::size_t i = 0; i < run.trace.size(); ++i) {
         const PowerSample &s = run.trace[i];
         EXPECT_LT(s.t0, s.t1) << "zero-length sample " << i;
-        if (i > 0)
+        if (i > 0) {
             EXPECT_DOUBLE_EQ(run.trace[i - 1].t1, s.t0)
                 << "gap/overlap before sample " << i;
+        }
     }
     EXPECT_DOUBLE_EQ(run.trace.back().t1, run.perf.time_s)
         << "trace does not reach the end of the kernel";
@@ -96,7 +97,7 @@ TEST(Trace, NoZeroLengthSampleOnExactBoundary)
 
 TEST(Trace, IntegralMatchesWholeKernelEnergy)
 {
-    for (const std::string &wl : {"vectoradd", "matmul"}) {
+    for (const char *wl : {"vectoradd", "matmul"}) {
         KernelRun run = tracedRun(GpuConfig::gt240(), wl, 2e-6);
         expectFullCoverage(run);
         double whole =

@@ -48,8 +48,11 @@ INSTANTIATE_TEST_SUITE_P(
                           "pathfinder", "kmeans", "backprop",
                           "heartwall", "needle"),
         ::testing::Values("gt240", "gtx580")),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    // Not named `info`: the INSTANTIATE_ macro expands around this
+    // lambda with its own `info` parameter, which -Wshadow flags.
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_" +
+               std::get<1>(param_info.param);
     });
 
 TEST(WorkloadRegistry, TableOneInventory)

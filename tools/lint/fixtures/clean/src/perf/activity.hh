@@ -1,0 +1,39 @@
+// Fixture: the happy path of every contract rule.
+#define GSP_CORE_ACTIVITY_FIELDS(X)                                     \
+    X(cycles_resident)                                                  \
+    X(decodes)                                                          \
+    X(writebacks)
+
+#define GSP_MEM_ACTIVITY_FIELDS(X)                                      \
+    X(l2_reads)                                                         \
+    X(l2_misses)
+
+constexpr unsigned core_activity_fields =
+#define X(name) 1 +
+    GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    0;
+
+constexpr unsigned mem_activity_fields =
+#define X(name) 1 +
+    GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    0;
+
+struct CoreCounterIndex
+{
+    enum : unsigned {
+#define X(name) name,
+        GSP_CORE_ACTIVITY_FIELDS(X)
+#undef X
+    };
+};
+
+struct MemCounterIndex
+{
+    enum : unsigned {
+#define X(name) name,
+        GSP_MEM_ACTIVITY_FIELDS(X)
+#undef X
+    };
+};

@@ -1,0 +1,5 @@
+// Fixture: coefficient-row consumer using the layout constants.
+double f(const double *values, const double *coeff)
+{
+    return dotCountersRow(values, coeff, core_activity_fields);
+}

@@ -1,0 +1,28 @@
+// Fixture: justified unordered container, lookup-only; smart-pointer
+// ownership; an annotated raw allocation.
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+struct Snapshot { double value = 0.0; };
+
+double lookup(const std::string &key)
+{
+    // lint: unordered-ok(find/emplace only, never iterated; results
+    // are addressed by key, so hash order is unobservable)
+    std::unordered_map<std::string, Snapshot> cache;
+    auto it = cache.find(key);
+    return it == cache.end() ? 0.0 : it->second.value;
+}
+
+std::unique_ptr<Snapshot> makeSnapshot()
+{
+    return std::make_unique<Snapshot>();
+}
+
+void *alignedScratch()
+{
+    // lint: alloc-ok(page-aligned DMA scratch handed to the driver,
+    // freed by releaseScratch below)
+    return std::malloc(4096);
+}

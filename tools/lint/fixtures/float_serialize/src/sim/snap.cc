@@ -1,0 +1,10 @@
+// Fixture: serializer writing doubles as rounded decimal text.
+#include <ostream>
+#include <string>
+
+void
+serializeSample(std::ostream &out, double t0, double t1)
+{
+    out << strformat("%g", t0) << '\n';
+    out << std::to_string(t1) << '\n';
+}

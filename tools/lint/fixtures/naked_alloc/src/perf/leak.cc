@@ -1,0 +1,11 @@
+// Fixture: raw allocations outside src/common.
+#include <cstdlib>
+
+struct Page { unsigned char bytes[4096]; };
+
+Page *grabPage()
+{
+    void *scratch = std::malloc(64);
+    (void)scratch;
+    return new Page();
+}

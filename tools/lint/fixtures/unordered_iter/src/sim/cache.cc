@@ -1,0 +1,16 @@
+// Fixture: unannotated unordered container in a result path, plus
+// two hash-ordered iterations over it.
+#include <string>
+#include <unordered_map>
+
+double sumAll()
+{
+    std::unordered_map<std::string, double> totals;
+    totals.emplace("a", 1.0);
+    double sum = 0.0;
+    for (const auto &kv : totals)
+        sum += kv.second;
+    for (auto it = totals.begin(); it != totals.end(); ++it)
+        sum += it->second;
+    return sum;
+}

@@ -1,0 +1,6 @@
+// Fixture: duplicate counter in the X-macro field list.
+#define GSP_CORE_ACTIVITY_FIELDS(X)                                     \
+    X(cycles_resident)                                                  \
+    X(decodes)                                                          \
+    X(cycles_resident)                                                  \
+    X(writebacks)

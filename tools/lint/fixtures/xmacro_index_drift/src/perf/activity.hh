@@ -1,0 +1,14 @@
+// Fixture: hand-enumerated counter index beside a correct X-macro.
+#define GSP_CORE_ACTIVITY_FIELDS(X)                                     \
+    X(cycles_resident)                                                  \
+    X(decodes)                                                          \
+    X(writebacks)
+
+struct CoreCounterIndex
+{
+    enum : unsigned {
+        cycles_resident,
+        decodes,
+        writebacks,
+    };
+};

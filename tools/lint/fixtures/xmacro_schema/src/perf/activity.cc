@@ -1,0 +1,8 @@
+// Fixture: serializer that does not embed the field-count constants.
+#include <ostream>
+
+void
+ChipActivity::serialize(std::ostream &out) const
+{
+    out << "chip-activity " << cores.size() << '\n';
+}

@@ -1,0 +1,212 @@
+"""Shared infrastructure of the project-contract linter.
+
+The rules enforce repo-specific invariants that generic tools
+(clang-tidy, compiler warnings) cannot express: the X-macro counter
+layout contract, deterministic iteration in result-producing paths,
+hex-float serialization of doubles, and ownership discipline outside
+src/common. Each rule module exposes
+
+    check(files: dict[str, SourceFile]) -> list[Finding]
+
+where the dict is keyed on the repo-relative POSIX path.
+
+Annotation syntax (searched in the raw text, i.e. inside comments):
+
+    // lint: unordered-ok(<reason>)
+    // lint: float-text-ok(<reason>)
+    // lint: alloc-ok(<reason>)
+
+An annotation blesses findings of its kind on the same line or on the
+few lines that follow it (ANNOTATION_REACH), so it can sit right above
+the declaration / loop / call it justifies. A reason is mandatory —
+an empty pair of parentheses does not count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+# How many lines below an annotation it still applies to.
+ANNOTATION_REACH = 6
+
+# The reason may continue onto following comment lines, so accept an
+# unclosed parenthesis: everything after `(` up to `)` or end-of-line
+# counts as the (first line of the) reason.
+_ANNOTATION_RE = re.compile(r"lint:\s*([a-z-]+-ok)\s*\(([^)]*)")
+
+
+@dataclasses.dataclass
+class Finding:
+    """One contract violation."""
+
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+class SourceFile:
+    """A source file plus its comment/string-stripped shadow.
+
+    ``raw_lines`` keep annotations and string literals; ``code`` has
+    comments and string/char literals replaced by spaces (newlines
+    preserved) so regexes cannot match into prose; ``code_nostr``
+    additionally blanks string literal *contents* are already blanked
+    in ``code`` — use ``raw`` when a rule must inspect format strings.
+    """
+
+    def __init__(self, path, text):
+        self.path = path
+        self.raw = text
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.splitlines()
+        self._annotations = self._collect_annotations()
+
+    def _collect_annotations(self):
+        anns = {}
+        for i, line in enumerate(self.raw_lines, start=1):
+            for m in _ANNOTATION_RE.finditer(line):
+                kind, reason = m.group(1), m.group(2).strip()
+                anns.setdefault(kind, []).append((i, bool(reason)))
+        return anns
+
+    def annotated(self, kind, line):
+        """True if a `lint: <kind>(reason)` annotation covers `line`."""
+        for ann_line, has_reason in self._annotations.get(kind, []):
+            if has_reason and ann_line <= line <= ann_line + ANNOTATION_REACH:
+                return True
+        return False
+
+    def annotation_without_reason(self, kind, line):
+        for ann_line, has_reason in self._annotations.get(kind, []):
+            if (not has_reason
+                    and ann_line <= line <= ann_line + ANNOTATION_REACH):
+                return ann_line
+        return None
+
+
+def strip_comments_and_strings(text):
+    """Replace comments and string/char literal contents with spaces.
+
+    Line structure is preserved so offsets keep mapping to the same
+    line numbers. Quotes themselves are kept (so "x" becomes "...")
+    to keep expressions syntactically balanced for brace matching.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = STRING
+                out.append(c)
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                out.append(c)
+                i += 1
+            elif c == "\n":  # unterminated; be forgiving
+                state = NORMAL
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def line_of_offset(text, offset):
+    """1-based line number of a character offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_paren(text, open_pos):
+    """Offset of the `)` matching the `(` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def matching_brace(text, open_pos):
+    """Offset of the `}` matching the `{` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def split_top_level_args(argtext):
+    """Split a call's argument text on top-level commas."""
+    args = []
+    depth = 0
+    cur = []
+    for ch in argtext:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth = max(0, depth - 1)
+        if ch == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        args.append(tail)
+    return args

@@ -1,0 +1,52 @@
+"""Ownership discipline: no naked allocation outside src/common.
+
+Everything above the common layer manages memory through containers
+and smart pointers (make_unique/make_shared); a raw `new` or a
+C allocation call is either a leak waiting to happen or a hidden
+ownership transfer the reader cannot see. src/common may need raw
+allocation for low-level utilities; everywhere else requires
+
+    // lint: alloc-ok(<reason>)
+
+above the allocation to pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lint_common import Finding, line_of_offset
+
+RULE = "naked-alloc"
+KIND = "alloc-ok"
+
+EXEMPT_PREFIX = "src/common/"
+
+_NEW_ANY_RE = re.compile(r"\bnew\b")
+_C_ALLOC_RE = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
+
+
+def check(files):
+    findings = []
+    for path, sf in sorted(files.items()):
+        if not path.startswith("src/") or path.startswith(EXEMPT_PREFIX):
+            continue
+        for m in _NEW_ANY_RE.finditer(sf.code):
+            line = line_of_offset(sf.code, m.start())
+            if sf.annotated(KIND, line):
+                continue
+            findings.append(Finding(
+                path, line, RULE,
+                "naked `new` outside src/common; use make_unique/"
+                "make_shared or a container, or annotate "
+                "`lint: alloc-ok(<reason>)`"))
+        for m in _C_ALLOC_RE.finditer(sf.code):
+            line = line_of_offset(sf.code, m.start())
+            if sf.annotated(KIND, line):
+                continue
+            findings.append(Finding(
+                path, line, RULE,
+                "C allocation call %s() outside src/common; RAII "
+                "owns memory in this tree, or annotate "
+                "`lint: alloc-ok(<reason>)`" % m.group(1)))
+    return findings

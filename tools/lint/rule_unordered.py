@@ -1,0 +1,103 @@
+"""Deterministic iteration in result-producing paths.
+
+Sweep results, power numbers, and serialized snapshots must be
+bit-identical across runs and worker counts. Hash-ordered iteration is
+the classic way to lose that: the paths that produce results
+(RESULT_DIRS) may not iterate over std::unordered_map/set, and even
+declaring one there requires an explicit justification:
+
+    // lint: unordered-ok(<why hash order cannot reach results>)
+
+above the declaration. Iterating (range-for or .begin()) needs its own
+annotation at the loop — a blessed declaration does not bless a later
+iteration.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lint_common import Finding, line_of_offset
+
+RULE = "unordered-order"
+KIND = "unordered-ok"
+
+# Repo-relative directories whose outputs reach results/serialization.
+RESULT_DIRS = ("src/sim/", "src/power/", "src/perf/")
+
+_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set)\s*<")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _in_scope(path):
+    return any(path.startswith(d) for d in RESULT_DIRS)
+
+
+def _declared_names(sf):
+    """Variable names declared with an unordered type, with lines."""
+    names = []
+    for m in _DECL_RE.finditer(sf.code):
+        # Walk past the template argument list to the declarator.
+        i = sf.code.find("<", m.start())
+        depth = 0
+        while i < len(sf.code):
+            if sf.code[i] == "<":
+                depth += 1
+            elif sf.code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = sf.code[i + 1:i + 200]
+        ident = _IDENT_RE.search(tail)
+        name = ident.group(0) if ident else None
+        names.append((name, line_of_offset(sf.code, m.start())))
+    return names
+
+
+def check(files):
+    findings = []
+    for path, sf in sorted(files.items()):
+        if not _in_scope(path):
+            continue
+        decls = _declared_names(sf)
+        for name, line in decls:
+            if sf.annotated(KIND, line):
+                continue
+            ann = sf.annotation_without_reason(KIND, line)
+            what = ("unordered-ok annotation at line %d has no reason"
+                    % ann) if ann else (
+                        "std::unordered_{map,set} declared in a "
+                        "result-producing path without a "
+                        "`lint: unordered-ok(<reason>)` annotation")
+            findings.append(Finding(
+                path, line, RULE,
+                what + "; use std::map / a sorted snapshot, or "
+                "justify why hash order cannot leak into results"))
+
+        names = {n for n, _ in decls if n}
+        if not names:
+            continue
+        name_alt = "|".join(re.escape(n) for n in sorted(names))
+        # Range-for over a declared unordered container (optionally
+        # through *, &, or const auto bindings on the left side).
+        iter_res = [
+            re.compile(r"for\s*\([^;()]*:\s*\*?\s*(?:this->)?(%s)\b"
+                       % name_alt),
+            re.compile(r"\b(%s)\s*\.\s*c?begin\s*\(" % name_alt),
+        ]
+        iter_sites = {}  # line -> container name (dedupe begin/end)
+        for rex in iter_res:
+            for m in rex.finditer(sf.code):
+                line = line_of_offset(sf.code, m.start())
+                if not sf.annotated(KIND, line):
+                    iter_sites.setdefault(line, m.group(1))
+        for line, name in sorted(iter_sites.items()):
+            findings.append(Finding(
+                path, line, RULE,
+                "iteration over unordered container '%s' in a "
+                "result-producing path; hash order is not "
+                "deterministic — sort first, switch to std::map, "
+                "or annotate `lint: unordered-ok(<reason>)` at "
+                "the loop" % name))
+    return findings
