@@ -16,7 +16,8 @@ void
 Logger::emit(LogLevel level, const std::string &tag,
              const std::string &message)
 {
-    if (static_cast<int>(level) > static_cast<int>(_level))
+    if (static_cast<int>(level) >
+        static_cast<int>(_level.load(std::memory_order_relaxed)))
         return;
     std::cerr << "[gpusimpow:" << tag << "] " << message << "\n";
 }

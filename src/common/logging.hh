@@ -9,6 +9,7 @@
 #ifndef GPUSIMPOW_COMMON_LOGGING_HH
 #define GPUSIMPOW_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -43,18 +44,26 @@ class Logger
     /** Return the singleton logger. */
     static Logger &instance();
 
-    /** Set the maximum level that will be emitted. */
-    void setLevel(LogLevel level) { _level = level; }
+    /** Set the maximum level that will be emitted. Safe to call
+     *  while other threads emit (relaxed atomic: the level is a
+     *  filter knob, not a synchronization point). */
+    void setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
 
     /** Current maximum emitted level. */
-    LogLevel level() const { return _level; }
+    LogLevel level() const
+    {
+        return _level.load(std::memory_order_relaxed);
+    }
 
     /** Emit one message at the given level to stderr. */
     void emit(LogLevel level, const std::string &tag,
               const std::string &message);
 
   private:
-    LogLevel _level = LogLevel::Warn;
+    std::atomic<LogLevel> _level{LogLevel::Warn};
 };
 
 namespace detail {

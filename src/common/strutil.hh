@@ -45,6 +45,10 @@ bool parseBool(const std::string &s, const std::string &context);
 std::string strformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Escape a string for embedding inside a JSON string literal
+ *  (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
 // Stream-token parsing for the stable text serializations (activity
 // records, scenario snapshots): whitespace-delimited tokens, fatal()
 // with context on truncation or malformed values.

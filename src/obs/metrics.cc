@@ -1,0 +1,188 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace gpusimpow {
+namespace obs {
+
+void
+Histogram::record(uint64_t value)
+{
+    // Bucket 0 holds zeros; bucket b holds [2^(b-1), 2^b).
+    std::size_t b = 0;
+    while (b + 1 < num_buckets && (uint64_t{1} << b) <= value)
+        ++b;
+    _buckets[b].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = _min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !_min.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed))
+        ;
+    seen = _max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !_max.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+uint64_t
+Histogram::min() const
+{
+    uint64_t v = _min.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _counters.try_emplace(name, name, desc).first->second;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _gauges.try_emplace(name, name, desc).first->second;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _histograms.try_emplace(name, name, desc).first->second;
+}
+
+void
+Registry::addSpanTime(const char *span_name, uint64_t dur_ns)
+{
+    counter(std::string("span/") + span_name + "_ns",
+            "wall time inside this span")
+        .add(dur_ns);
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(_mutex);
+    snap.counters.reserve(_counters.size());
+    for (const auto &kv : _counters)
+        snap.counters.emplace_back(kv.first, kv.second.value());
+    snap.gauges.reserve(_gauges.size());
+    for (const auto &kv : _gauges)
+        snap.gauges.emplace_back(kv.first, kv.second.value());
+    snap.histograms.reserve(_histograms.size());
+    for (const auto &kv : _histograms) {
+        MetricsSnapshot::HistValue h;
+        h.name = kv.first;
+        h.count = kv.second.count();
+        h.sum = kv.second.sum();
+        h.min = kv.second.min();
+        h.max = kv.second.max();
+        for (unsigned b = 0; b < Histogram::num_buckets; ++b) {
+            uint64_t n = kv.second.bucket(b);
+            if (n)
+                h.buckets.emplace_back(b, n);
+        }
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    // counters is name-sorted (std::map iteration order at capture).
+    auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const auto &kv, const std::string &n) { return kv.first < n; });
+    return it != counters.end() && it->first == name ? it->second : 0;
+}
+
+MetricsSnapshot
+MetricsSnapshot::deltaFrom(const MetricsSnapshot &earlier) const
+{
+    MetricsSnapshot delta = *this;
+    for (auto &kv : delta.counters) {
+        uint64_t before = earlier.counter(kv.first);
+        kv.second = kv.second >= before ? kv.second - before : 0;
+    }
+    // Gauges are instantaneous readings: keep the current value.
+    for (auto &h : delta.histograms) {
+        auto it = std::lower_bound(
+            earlier.histograms.begin(), earlier.histograms.end(), h.name,
+            [](const HistValue &hv, const std::string &n) {
+                return hv.name < n;
+            });
+        if (it == earlier.histograms.end() || it->name != h.name)
+            continue;
+        h.count = h.count >= it->count ? h.count - it->count : 0;
+        h.sum = h.sum >= it->sum ? h.sum - it->sum : 0;
+        // min/max keep the current reading (no meaningful delta).
+        for (auto &bucket : h.buckets) {
+            for (const auto &prev : it->buckets)
+                if (prev.first == bucket.first) {
+                    bucket.second = bucket.second >= prev.second
+                                        ? bucket.second - prev.second
+                                        : 0;
+                    break;
+                }
+        }
+        h.buckets.erase(
+            std::remove_if(h.buckets.begin(), h.buckets.end(),
+                           [](const auto &b) { return b.second == 0; }),
+            h.buckets.end());
+    }
+    return delta;
+}
+
+std::string
+MetricsSnapshot::jsonBody() const
+{
+    std::ostringstream out;
+    out << "\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        out << (i ? "," : "") << "\n  \"" << jsonEscape(counters[i].first)
+            << "\":" << counters[i].second;
+    out << "\n},\n\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i)
+        out << (i ? "," : "") << "\n  \"" << jsonEscape(gauges[i].first)
+            << "\":" << gauges[i].second;
+    out << "\n},\n\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistValue &h = histograms[i];
+        out << (i ? "," : "") << "\n  \"" << jsonEscape(h.name)
+            << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+            << ",\"min\":" << h.min << ",\"max\":" << h.max
+            << ",\"buckets\":{";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            out << (b ? "," : "") << "\"" << h.buckets[b].first
+                << "\":" << h.buckets[b].second;
+        out << "}}";
+    }
+    out << "\n}";
+    return out.str();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    return "{\n\"schema\":\"gpusimpow-metrics-1\",\n" + jsonBody() +
+           "\n}\n";
+}
+
+} // namespace obs
+} // namespace gpusimpow

@@ -1,0 +1,199 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "common/strutil.hh"
+#include "obs/metrics.hh"
+
+namespace gpusimpow {
+namespace obs {
+
+std::atomic<bool> Tracer::_enabled{false};
+
+uint64_t
+monotonicNs()
+{
+    // The epoch is the first call in the process; everything obs
+    // reports is a difference of these values, so the absolute origin
+    // is irrelevant as long as it never moves.
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+namespace {
+
+/** Thread-local handle into the tracer, invalidated by clear(). */
+struct ThreadSlot
+{
+    uint64_t generation = 0;
+    void *buffer = nullptr;
+};
+
+thread_local ThreadSlot t_slot;
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    _enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _buffers.clear();
+    // Threads notice the new generation and re-register; their stale
+    // pointers are never dereferenced (quiescence contract).
+    _generation.fetch_add(1, std::memory_order_release);
+}
+
+void
+Tracer::setCapacity(std::size_t events_per_thread)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _capacity = std::max<std::size_t>(1, events_per_thread);
+}
+
+Tracer::ThreadBuffer *
+Tracer::registerThread()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<unsigned>(_buffers.size()) + 1;
+    buffer->slots.resize(_capacity);
+    _buffers.push_back(std::move(buffer));
+    t_slot.generation = _generation.load(std::memory_order_acquire);
+    t_slot.buffer = _buffers.back().get();
+    return _buffers.back().get();
+}
+
+Tracer::ThreadBuffer *
+Tracer::threadBuffer()
+{
+    if (t_slot.buffer &&
+        t_slot.generation == _generation.load(std::memory_order_acquire))
+        return static_cast<ThreadBuffer *>(t_slot.buffer);
+    return registerThread();
+}
+
+void
+Tracer::labelThread(const std::string &label)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer *tb = threadBuffer();
+    std::lock_guard<std::mutex> lock(_mutex);
+    tb->label = label;
+}
+
+void
+Tracer::record(const char *name, uint64_t t0_ns, uint64_t dur_ns)
+{
+    if (!enabled())
+        return; // disabled between span begin and end
+    ThreadBuffer *tb = threadBuffer();
+    uint64_t head = tb->head.load(std::memory_order_relaxed);
+    SpanEvent &slot = tb->slots[head % tb->slots.size()];
+    slot.name = name;
+    slot.t0_ns = t0_ns;
+    slot.dur_ns = dur_ns;
+    // Release: the slot write happens-before a reader that acquires
+    // the advanced head (the quiescent exporter).
+    tb->head.store(head + 1, std::memory_order_release);
+    // Per-phase wall-time totals survive ring wraparound.
+    Registry::instance().addSpanTime(name, dur_ns);
+}
+
+std::size_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t dropped = 0;
+    for (const auto &tb : _buffers) {
+        uint64_t head = tb->head.load(std::memory_order_acquire);
+        if (head > tb->slots.size())
+            dropped += head - tb->slots.size();
+    }
+    return dropped;
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t count = 0;
+    for (const auto &tb : _buffers)
+        count += static_cast<std::size_t>(
+            std::min<uint64_t>(tb->head.load(std::memory_order_acquire),
+                               tb->slots.size()));
+    return count;
+}
+
+std::string
+Tracer::exportChromeTrace() const
+{
+    std::ostringstream out;
+    writeChromeTrace(out);
+    return out.str();
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n";
+    };
+    for (const auto &tb : _buffers) {
+        std::string label = tb->label.empty()
+                                ? strformat("thread-%u", tb->tid)
+                                : tb->label;
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tb->tid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << jsonEscape(label) << "\"}}";
+        uint64_t head = tb->head.load(std::memory_order_acquire);
+        uint64_t kept = std::min<uint64_t>(head, tb->slots.size());
+        // Oldest surviving event first: ring order is completion
+        // order, so per-track *end* times are monotonic.
+        for (uint64_t i = head - kept; i < head; ++i) {
+            const SpanEvent &e = tb->slots[i % tb->slots.size()];
+            sep();
+            // ts/dur are microseconds; print the exact nanosecond
+            // remainder as the fractional part.
+            out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tb->tid
+                << ",\"cat\":\"gpusimpow\",\"name\":\""
+                << jsonEscape(e.name) << "\",\"ts\":"
+                << e.t0_ns / 1000 << "." << strformat("%03u",
+                       static_cast<unsigned>(e.t0_ns % 1000))
+                << ",\"dur\":" << e.dur_ns / 1000 << "."
+                << strformat("%03u",
+                             static_cast<unsigned>(e.dur_ns % 1000))
+                << "}";
+        }
+    }
+    out << "\n]}\n";
+}
+
+} // namespace obs
+} // namespace gpusimpow

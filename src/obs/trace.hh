@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Span tracer of the observability layer: per-thread ring-buffered
+ * begin/end events behind RAII macros, exported as Chrome
+ * `trace_event` JSON (load the file in Perfetto / chrome://tracing,
+ * one track per thread).
+ *
+ * The contract that lets spans live on simulation paths:
+ *
+ *  - **Zero-cost-when-off.** `GSP_TRACE_SPAN("engine/replay")`
+ *    expands to one relaxed atomic load of the global enabled flag;
+ *    with tracing off no clock is read, no buffer is touched, and no
+ *    allocation happens. Results are byte-identical with tracing on
+ *    or off at any worker count — spans observe, they never steer.
+ *  - **Wait-free emission.** Each thread owns a fixed-capacity ring
+ *    buffer; recording a span is two monotonic clock reads plus one
+ *    slot write. When a ring wraps, the oldest spans are overwritten
+ *    and counted as dropped — tracing never blocks or grows.
+ *  - **Quiescent export.** exportChromeTrace()/clear()/setCapacity()
+ *    expect no spans in flight (call them after the engine's worker
+ *    pool has joined); concurrent *emission* from any number of
+ *    threads is always safe.
+ *
+ * Span names must be string literals (or otherwise outlive the
+ * tracer): the ring stores the pointer, not a copy. On span end the
+ * duration is also folded into the metrics registry under
+ * `span/<name>_ns`, giving per-phase wall-time totals even when the
+ * ring has wrapped.
+ */
+
+#ifndef GPUSIMPOW_OBS_TRACE_HH
+#define GPUSIMPOW_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpusimpow {
+namespace obs {
+
+/**
+ * Monotonic nanoseconds since the first call in this process — the
+ * one sanctioned wall-clock source outside bench/. Everything that
+ * times simulator execution (spans, worker busy/idle accounting, the
+ * CLI progress ETA) goes through this, which is what lets the
+ * `timing-clock` lint rule ban raw steady_clock reads elsewhere.
+ */
+uint64_t monotonicNs();
+
+/** One completed span (Chrome "X" complete event). */
+struct SpanEvent
+{
+    /** Static span name (the macro's string literal). */
+    const char *name = nullptr;
+    /** Begin, ns on the monotonicNs() timeline. */
+    uint64_t t0_ns = 0;
+    /** Duration, ns. */
+    uint64_t dur_ns = 0;
+};
+
+/** Process-wide span tracer. */
+class Tracer
+{
+  public:
+    /** The singleton tracer. */
+    static Tracer &instance();
+
+    /** The macro's gate: one relaxed atomic load. */
+    static bool enabled()
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    /** Turn span recording on/off (off by default). */
+    void setEnabled(bool on);
+
+    /**
+     * Drop every recorded span and thread registration. Quiescent
+     * only: no spans may be in flight on other threads.
+     */
+    void clear();
+
+    /**
+     * Ring capacity (events) for threads that register *after* the
+     * call; existing rings keep their size. Quiescent only.
+     */
+    void setCapacity(std::size_t events_per_thread);
+
+    /** Label the calling thread's trace track ("worker-3"). No-op
+     *  while tracing is disabled. */
+    void labelThread(const std::string &label);
+
+    /** Record one completed span on the calling thread's ring.
+     *  Dropped (cheaply) when tracing is disabled. */
+    void record(const char *name, uint64_t t0_ns, uint64_t dur_ns);
+
+    /** Spans overwritten by ring wraparound since the last clear(). */
+    std::size_t droppedEvents() const;
+
+    /** Spans currently held across all rings. */
+    std::size_t eventCount() const;
+
+    /** Chrome trace_event JSON ("X" events + thread_name metadata,
+     *  ts/dur in microseconds). Perfetto-loadable. Quiescent only. */
+    std::string exportChromeTrace() const;
+
+    /** exportChromeTrace() straight into a stream. */
+    void writeChromeTrace(std::ostream &out) const;
+
+  private:
+    Tracer() = default;
+
+    /** One thread's ring. Slot writes happen-before the head store
+     *  (release), so a quiescent reader sees complete events. */
+    struct ThreadBuffer
+    {
+        std::string label;
+        unsigned tid = 0;
+        std::vector<SpanEvent> slots;
+        std::atomic<uint64_t> head{0};
+    };
+
+    ThreadBuffer *registerThread();
+    ThreadBuffer *threadBuffer();
+
+    static std::atomic<bool> _enabled;
+
+    mutable std::mutex _mutex;
+    std::vector<std::unique_ptr<ThreadBuffer>> _buffers;
+    std::size_t _capacity = 1u << 16;
+    /** Bumped by clear() so threads drop their cached buffer. */
+    std::atomic<uint64_t> _generation{1};
+};
+
+/**
+ * RAII span: constructed with nullptr (tracing off) it does nothing
+ * at all; otherwise it stamps the clock and records itself on
+ * destruction. Use through GSP_TRACE_SPAN.
+ */
+class SpanGuard
+{
+  public:
+    explicit SpanGuard(const char *name)
+        : _name(name), _t0_ns(name ? monotonicNs() : 0)
+    {}
+    ~SpanGuard()
+    {
+        if (_name)
+            Tracer::instance().record(_name, _t0_ns,
+                                      monotonicNs() - _t0_ns);
+    }
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+  private:
+    const char *_name;
+    uint64_t _t0_ns;
+};
+
+#define GSP_OBS_CONCAT2(a, b) a##b
+#define GSP_OBS_CONCAT(a, b) GSP_OBS_CONCAT2(a, b)
+
+/**
+ * Trace the enclosing scope as one span. `name` must be a string
+ * literal ("layer/what", see docs/observability.md for the
+ * taxonomy). Exactly one relaxed atomic load when tracing is off.
+ */
+#define GSP_TRACE_SPAN(name)                                            \
+    ::gpusimpow::obs::SpanGuard GSP_OBS_CONCAT(gsp_trace_span_,         \
+                                               __LINE__)(               \
+        ::gpusimpow::obs::Tracer::enabled() ? (name) : nullptr)
+
+} // namespace obs
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_OBS_TRACE_HH

@@ -4,6 +4,8 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace gpusimpow {
 namespace power {
@@ -179,6 +181,12 @@ BatchedPowerEvaluator::evaluate(
     bool want_blocks, Workspace &ws,
     std::vector<BatchedKernelPower> &out) const
 {
+    GSP_TRACE_SPAN("power/batched_eval");
+    static obs::Counter &c_evals = obs::Registry::instance().counter(
+        "power/batched_evals",
+        "batched matrix evaluations (one per kernel per group)");
+    c_evals.add(1);
+
     const std::size_t n_variants = _variants.size();
     const std::size_t n_intervals = acts.size();
     // Doubles per packed value row in the product tiles: the four

@@ -5,12 +5,14 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace gpusimpow {
 namespace power {
 
 CompiledPowerModel::CompiledPowerModel(const CompiledModelInputs &in)
 {
+    GSP_TRACE_SPAN("power/compile");
     GSP_ASSERT(in.cfg && in.tech && in.core && in.dram,
                "compiled power model needs a fully populated input set");
     const GpuConfig &cfg = *in.cfg;

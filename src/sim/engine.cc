@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "power/batched.hh"
 #include "workloads/workload.hh"
 
@@ -73,12 +76,21 @@ replayGroup(const SimulationEngine &engine,
             power::BatchedPowerEvaluator::Workspace &batch_ws,
             Publish &&publish, std::atomic<std::size_t> &replayed)
 {
+    // Registered (with descriptions) by run() before any worker can
+    // get here; these lookups just cache the stable references.
+    static obs::Counter &c_replayed =
+        obs::Registry::instance().counter("engine/scenarios_replayed");
+    static obs::Counter &c_builds =
+        obs::Registry::instance().counter("engine/simulator_builds");
+
     if (!snapshot.with_trace) {
         for (std::size_t k = 1; k < unit.size(); ++k) {
             const Scenario &variant = scenarios[unit[k]];
             Simulator sim(variant.config);
+            c_builds.add(1);
             publish(engine.replayScenario(variant, snapshot, sim));
             replayed.fetch_add(1);
+            c_replayed.add(1);
         }
         return;
     }
@@ -96,6 +108,7 @@ replayGroup(const SimulationEngine &engine,
         variants.push_back(&scenarios[unit[k]]);
         sims.push_back(
             std::make_unique<Simulator>(variants.back()->config));
+        c_builds.add(1);
         // The thermal trace march consumes per-block splits.
         want_blocks |= variants.back()->config.thermal.enabled;
     }
@@ -141,6 +154,7 @@ replayGroup(const SimulationEngine &engine,
             results[j].verified = snapshot.verified;
         publish(std::move(results[j]));
         replayed.fetch_add(1);
+        c_replayed.add(1);
     }
 }
 
@@ -252,12 +266,69 @@ SimulationEngine::replayScenario(const Scenario &scenario,
 SweepResult
 SimulationEngine::run(const SweepSpec &spec) const
 {
+    GSP_TRACE_SPAN("engine/run");
+    const uint64_t t_run0 = obs::monotonicNs();
+
+    // Register every engine-level instrument up front so a metrics
+    // dump always carries the full key set — a counter whose path
+    // never ran reads 0 instead of being absent.
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter &c_scenarios = reg.counter(
+        "engine/scenarios", "scenarios completed by engine runs");
+    obs::Counter &c_captured = reg.counter(
+        "engine/scenarios_captured",
+        "scenarios that ran timing and captured a snapshot");
+    obs::Counter &c_replayed = reg.counter(
+        "engine/scenarios_replayed",
+        "scenarios replayed from a memoized snapshot");
+    obs::Counter &c_governed = reg.counter(
+        "engine/scenarios_governed",
+        "scenarios pinned to full simulation by the governor");
+    obs::Counter &c_cache_hit = reg.counter(
+        "engine/snapshot_cache_hit",
+        "ungrouped-schedule snapshot cache hits");
+    obs::Counter &c_cache_miss = reg.counter(
+        "engine/snapshot_cache_miss",
+        "ungrouped-schedule snapshot cache misses");
+    obs::Counter &c_insert_race = reg.counter(
+        "engine/snapshot_cache_insert_race",
+        "snapshot captures discarded because another worker "
+        "published the key first");
+    obs::Counter &c_batch_groups = reg.counter(
+        "engine/batch_groups",
+        "batched replay groups (work units with replay members)");
+    obs::Counter &c_builds = reg.counter(
+        "engine/simulator_builds",
+        "Simulator constructions on behalf of the engine");
+    obs::Counter &c_recycles = reg.counter(
+        "engine/simulator_recycles",
+        "scenarios served by recycling a worker's Simulator");
+    obs::Counter &c_busy = reg.counter(
+        "engine/worker_busy_ns", "worker time spent inside work units");
+    obs::Counter &c_idle = reg.counter(
+        "engine/worker_idle_ns",
+        "worker lifetime not spent inside work units");
+    obs::Histogram &h_group_size = reg.histogram(
+        "engine/batch_group_size",
+        "work-unit sizes of the grouped (batch replay) schedule");
+
+    // Telemetry meters its own window of the process-wide registry.
+    const obs::MetricsSnapshot metrics_before = reg.snapshot();
+
     std::vector<Scenario> scenarios = spec.expand();
     SweepResult table(scenarios.size());
     if (scenarios.empty())
         return table; // nothing to do; spawn no workers
 
     std::size_t total = scenarios.size();
+
+    // Governor-pinned scenarios are a property of the spec, not of
+    // scheduling — count them up front.
+    std::size_t governed = 0;
+    for (const Scenario &s : scenarios)
+        if (!s.replayable())
+            ++governed;
+    c_governed.add(governed);
 
     // Work units the pool pulls from. With batched group replay each
     // timing-unique Scenario::snapshotKey() becomes one unit: its
@@ -291,6 +362,14 @@ SimulationEngine::run(const SweepSpec &spec) const
             units.push_back({i});
     }
 
+    if (grouped) {
+        for (const auto &unit : units) {
+            h_group_size.record(unit.size());
+            if (unit.size() > 1)
+                c_batch_groups.add(1);
+        }
+    }
+
     unsigned workers = _jobs;
     if (static_cast<std::size_t>(workers) > units.size())
         workers = static_cast<unsigned>(units.size());
@@ -298,6 +377,7 @@ SimulationEngine::run(const SweepSpec &spec) const
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> replayed{0};
+    std::atomic<std::size_t> captured{0};
     std::mutex progress_mutex;
 
     // Cross-worker snapshot cache for the ungrouped schedule, scoped
@@ -323,7 +403,13 @@ SimulationEngine::run(const SweepSpec &spec) const
     std::size_t error_index = std::numeric_limits<std::size_t>::max();
     std::exception_ptr error;
 
-    auto worker_loop = [&]() {
+    auto worker_loop = [&](unsigned worker_id) {
+        // One trace track per worker. No-op while tracing is off.
+        obs::Tracer::instance().labelThread(
+            strformat("worker-%u", worker_id));
+        const uint64_t t_worker0 = obs::monotonicNs();
+        uint64_t busy_ns = 0;
+
         // Per-worker Simulator cache (single entry), keyed on the
         // scenario's full serialized configuration — which covers
         // architecture, node retarget, and operating point. Scenario
@@ -341,13 +427,16 @@ SimulationEngine::run(const SweepSpec &spec) const
                 std::string fp = scenario.config.toXml();
                 if (cached && cached_fp == fp) {
                     cached->recycle();
+                    c_recycles.add(1);
                 } else {
                     cached =
                         std::make_unique<Simulator>(scenario.config);
+                    c_builds.add(1);
                 }
                 cached_fp = std::move(fp);
             } else {
                 cached = std::make_unique<Simulator>(scenario.config);
+                c_builds.add(1);
                 cached_fp.clear();
             }
             return *cached;
@@ -356,7 +445,8 @@ SimulationEngine::run(const SweepSpec &spec) const
         for (;;) {
             std::size_t u = cursor.fetch_add(1);
             if (u >= units.size())
-                return;
+                break;
+            const uint64_t t_unit0 = obs::monotonicNs();
             const std::vector<std::size_t> &unit = units[u];
             // Members publish in ascending index order, so on an
             // exception the first unpublished member is the failing
@@ -367,6 +457,7 @@ SimulationEngine::run(const SweepSpec &spec) const
                 std::size_t completed = done.fetch_add(1) + 1;
                 table.set(std::move(result));
                 ++published_in_unit;
+                c_scenarios.add(1);
                 // The result is published before the progress hook
                 // runs, so a throwing callback cannot drop it; the
                 // callback's exception still surfaces from run().
@@ -380,15 +471,27 @@ SimulationEngine::run(const SweepSpec &spec) const
                 if (unit.size() > 1) {
                     // Capture once on the unit's first scenario,
                     // then batch-replay the power-only variants.
+                    GSP_TRACE_SPAN("engine/batch_group");
                     const Scenario &first = scenarios[unit.front()];
-                    ActivitySnapshot captured;
-                    publish(runScenario(first, acquire(first),
-                                        &captured));
-                    replayGroup(*this, scenarios, unit, captured,
-                                batch_ws, publish, replayed);
+                    ActivitySnapshot captured_snap;
+                    {
+                        GSP_TRACE_SPAN("engine/capture");
+                        publish(runScenario(first, acquire(first),
+                                            &captured_snap));
+                    }
+                    captured.fetch_add(1);
+                    c_captured.add(1);
+                    {
+                        GSP_TRACE_SPAN("engine/replay");
+                        replayGroup(*this, scenarios, unit,
+                                    captured_snap, batch_ws, publish,
+                                    replayed);
+                    }
+                    busy_ns += obs::monotonicNs() - t_unit0;
                     continue;
                 }
 
+                GSP_TRACE_SPAN("engine/scenario");
                 const Scenario &scenario = scenarios[unit.front()];
                 // Memoization first: a cache hit skips the timing
                 // run entirely.
@@ -401,20 +504,31 @@ SimulationEngine::run(const SweepSpec &spec) const
                     auto it = snapshots.find(key);
                     if (it != snapshots.end())
                         snapshot = it->second;
+                    (snapshot ? c_cache_hit : c_cache_miss).add(1);
                 }
 
                 Simulator &sim = acquire(scenario);
                 ScenarioResult result;
                 if (snapshot) {
+                    GSP_TRACE_SPAN("engine/replay");
                     result = replayScenario(scenario, *snapshot, sim);
                     replayed.fetch_add(1);
+                    c_replayed.add(1);
                 } else if (!key.empty()) {
-                    auto captured =
+                    auto captured_snap =
                         std::make_shared<ActivitySnapshot>();
-                    result =
-                        runScenario(scenario, sim, captured.get());
+                    {
+                        GSP_TRACE_SPAN("engine/capture");
+                        result = runScenario(scenario, sim,
+                                             captured_snap.get());
+                    }
+                    captured.fetch_add(1);
+                    c_captured.add(1);
                     std::lock_guard<std::mutex> lock(snapshot_mutex);
-                    snapshots.emplace(key, std::move(captured));
+                    if (!snapshots
+                             .emplace(key, std::move(captured_snap))
+                             .second)
+                        c_insert_race.add(1);
                 } else {
                     result = runScenario(scenario, sim, nullptr);
                 }
@@ -432,22 +546,37 @@ SimulationEngine::run(const SweepSpec &spec) const
                     error = std::current_exception();
                 }
             }
+            busy_ns += obs::monotonicNs() - t_unit0;
         }
+
+        c_busy.add(busy_ns);
+        c_idle.add(obs::monotonicNs() - t_worker0 - busy_ns);
     };
 
     if (workers == 1) {
         // Run inline: identical semantics, easier to debug/profile.
-        worker_loop();
+        worker_loop(1);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(worker_loop);
+            pool.emplace_back(worker_loop, w + 1);
         for (std::thread &t : pool)
             t.join();
     }
 
     table.setReplayedScenarios(replayed.load());
+
+    SweepTelemetry telemetry;
+    telemetry.scenarios = total;
+    telemetry.captured = captured.load();
+    telemetry.replayed = replayed.load();
+    telemetry.governed = governed;
+    telemetry.workers = workers;
+    telemetry.wall_s =
+        static_cast<double>(obs::monotonicNs() - t_run0) * 1e-9;
+    telemetry.metrics = reg.snapshot().deltaFrom(metrics_before);
+    table.setTelemetry(std::move(telemetry));
 
     if (error)
         std::rethrow_exception(error);

@@ -48,6 +48,16 @@
  *     --vf V[:F],...            DVFS operating points swept in
  *                               --sweep ("0.9" means V=F=0.9,
  *                               "0.9:0.8" sets them separately)
+ *     --progress                live sweep progress on stderr
+ *                               (done/total, replay-vs-capture
+ *                               split, ETA; throttled to >= 100 ms)
+ *     --trace-out FILE          record engine/simulator spans and
+ *                               write them as Chrome trace_event
+ *                               JSON (load in Perfetto); see
+ *                               docs/observability.md
+ *     --metrics-json FILE       dump the observability metrics as
+ *                               JSON (with the sweep's telemetry
+ *                               summary in --sweep mode)
  *
  * In --sweep mode --gpu and --workload accept comma-separated lists,
  * and --workload also accepts "all" (every Table I benchmark).
@@ -63,6 +73,8 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/simulator.hh"
 #include "tech/tech.hh"
@@ -100,6 +112,9 @@ struct Options
     bool no_memo = false;
     std::string nodes;
     std::string vf;
+    bool progress = false;
+    std::string trace_out_file;
+    std::string metrics_json_file;
 };
 
 /** Engine worker cap: above this, thread overhead only hurts. */
@@ -118,7 +133,9 @@ usage()
         "                 [--stats] [--static-only] [--dump-config]\n"
         "                 [--list]\n"
         "                 [--sweep] [--jobs N] [--no-memo]\n"
-        "                 [--nodes N,M] [--vf V[:F],...]\n");
+        "                 [--nodes N,M] [--vf V[:F],...]\n"
+        "                 [--progress] [--trace-out FILE]\n"
+        "                 [--metrics-json FILE]\n");
 }
 
 Options
@@ -202,6 +219,12 @@ parseArgs(int argc, char **argv)
             opt.nodes = need_value("--nodes");
         } else if (arg == "--vf") {
             opt.vf = need_value("--vf");
+        } else if (arg == "--progress") {
+            opt.progress = true;
+        } else if (arg == "--trace-out") {
+            opt.trace_out_file = need_value("--trace-out");
+        } else if (arg == "--metrics-json") {
+            opt.metrics_json_file = need_value("--metrics-json");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -236,6 +259,120 @@ resolvePreset(const std::string &name)
     fatal("unknown GPU preset '", name,
           "' (expected gt240 or gtx580)");
 }
+
+/** Open an observability output file up front: a mistyped path must
+ *  fail before the run, not after the results are gone. */
+std::ofstream
+openObsFile(const std::string &path, const char *flag)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open ", flag, " file '", path, "'");
+    return out;
+}
+
+/**
+ * Owns the --trace-out/--metrics-json outputs: opens both files (and
+ * enables span recording) on construction, writes them on scope
+ * exit — which covers every return path, including fatal() unwinds.
+ * Sweep mode substitutes the richer SweepTelemetry document for the
+ * plain registry dump via setMetricsDocument().
+ */
+class ObsWriter
+{
+  public:
+    explicit ObsWriter(const Options &opt)
+    {
+        if (!opt.trace_out_file.empty()) {
+            _trace = openObsFile(opt.trace_out_file, "--trace-out");
+            obs::Tracer::instance().setEnabled(true);
+        }
+        if (!opt.metrics_json_file.empty())
+            _metrics =
+                openObsFile(opt.metrics_json_file, "--metrics-json");
+    }
+
+    ~ObsWriter()
+    {
+        if (_trace.is_open())
+            obs::Tracer::instance().writeChromeTrace(_trace);
+        if (_metrics.is_open())
+            _metrics << (_metrics_doc.empty()
+                             ? obs::Registry::instance()
+                                   .snapshot()
+                                   .toJson()
+                             : _metrics_doc);
+    }
+
+    ObsWriter(const ObsWriter &) = delete;
+    ObsWriter &operator=(const ObsWriter &) = delete;
+
+    void setMetricsDocument(std::string doc)
+    {
+        _metrics_doc = std::move(doc);
+    }
+
+  private:
+    std::ofstream _trace;
+    std::ofstream _metrics;
+    std::string _metrics_doc;
+};
+
+/**
+ * --progress: a live status line on stderr, throttled to one update
+ * per 100 ms (plus the final one). The replay-vs-capture split reads
+ * the observability counters against a baseline taken at
+ * construction, so a previous run in the same process cannot leak
+ * into the display. The engine serializes progress callbacks, so the
+ * mutable state needs no lock.
+ */
+class ProgressPrinter
+{
+  public:
+    ProgressPrinter()
+        : _c_replayed(obs::Registry::instance().counter(
+              "engine/scenarios_replayed")),
+          _c_captured(obs::Registry::instance().counter(
+              "engine/scenarios_captured")),
+          _base_replayed(_c_replayed.value()),
+          _base_captured(_c_captured.value()),
+          _t0_ns(obs::monotonicNs())
+    {}
+
+    void operator()(const sim::ScenarioResult &, std::size_t done,
+                    std::size_t total)
+    {
+        uint64_t now = obs::monotonicNs();
+        if (done < total && now - _last_ns < 100000000ull)
+            return;
+        _last_ns = now;
+        double elapsed_s =
+            static_cast<double>(now - _t0_ns) * 1e-9;
+        double eta_s =
+            done ? elapsed_s *
+                       static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+        std::fprintf(
+            stderr,
+            "progress: %zu/%zu (%llu replayed, %llu captured), "
+            "%.1f s elapsed, ETA %.1f s\n",
+            done, total,
+            static_cast<unsigned long long>(_c_replayed.value() -
+                                            _base_replayed),
+            static_cast<unsigned long long>(_c_captured.value() -
+                                            _base_captured),
+            elapsed_s, eta_s);
+    }
+
+  private:
+    obs::Counter &_c_replayed;
+    obs::Counter &_c_captured;
+    uint64_t _base_replayed;
+    uint64_t _base_captured;
+    uint64_t _t0_ns;
+    uint64_t _last_ns = 0;
+};
 
 /** The thermal tuning flags mean nothing without the subsystem on. */
 void
@@ -341,14 +478,20 @@ runSweep(const Options &opt)
         fatal("--sweep: no cooling presets given (--cooling '",
               opt.cooling, "')");
 
+    ObsWriter obs_writer(opt);
+
     sim::EngineOptions eopt;
     eopt.jobs = opt.jobs;
     eopt.memoize = !opt.no_memo;
-    eopt.progress = [](const sim::ScenarioResult &r, std::size_t done,
-                       std::size_t total) {
-        std::fprintf(stderr, "[%zu/%zu] %s\n", done, total,
-                     r.scenario.label.c_str());
-    };
+    // ProgressPrinter outlives engine.run(); the engine only calls
+    // the hook while workers are draining inside run().
+    ProgressPrinter printer;
+    if (opt.progress)
+        eopt.progress = [&printer](const sim::ScenarioResult &r,
+                                   std::size_t done,
+                                   std::size_t total) {
+            printer(r, done, total);
+        };
     sim::SimulationEngine engine(eopt);
 
     std::printf("sweep: %zu configs x %zu workloads",
@@ -365,9 +508,13 @@ runSweep(const Options &opt)
 
     sim::SweepResult result = engine.run(spec);
     // Stats go to stderr so a memoized table diffs clean against a
-    // --no-memo one (the CI smoke check relies on that).
+    // --no-memo one (the CI smoke check relies on that). The numbers
+    // come from the run's telemetry — the same values --metrics-json
+    // dumps — so they exist in exactly one place.
+    const sim::SweepTelemetry &telemetry = result.telemetry();
     std::fprintf(stderr, "memoized replay: %zu of %zu scenario(s)\n",
-                 result.replayedScenarios(), result.size());
+                 telemetry.replayed, telemetry.scenarios);
+    obs_writer.setMetricsDocument(telemetry.toJson());
     std::fputs(result.formatTable().c_str(), stdout);
     std::printf("\ntotal simulated time: %.3f ms\n",
                 result.totalSimulatedTime() * 1e3);
@@ -395,6 +542,12 @@ runTool(const Options &opt)
     if (!opt.vf.empty())
         fatal("--vf requires --sweep; use --vdd-scale/--freq-scale "
               "for a single run");
+    if (opt.progress)
+        fatal("--progress requires --sweep");
+
+    // Single runs observe too: spans from the simulator layers and a
+    // plain registry dump (no sweep telemetry to report).
+    ObsWriter obs_writer(opt);
 
     if (opt.list) {
         std::printf("available workloads:\n");

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "power/batched.hh"
 
 namespace gpusimpow {
@@ -46,6 +48,7 @@ ThermalResult::hottestBlock() const
 Simulator::Simulator(const GpuConfig &cfg)
     : _cfg(cfg), _nominal_freq_scale(cfg.clocks.freq_scale)
 {
+    GSP_TRACE_SPAN("sim/setup");
     _gpu = std::make_unique<perf::Gpu>(_cfg);
     _power = std::make_unique<power::GpuPowerModel>(_cfg);
 }
@@ -53,6 +56,7 @@ Simulator::Simulator(const GpuConfig &cfg)
 void
 Simulator::recycle()
 {
+    GSP_TRACE_SPAN("sim/recycle");
     _gpu->resetDeviceState();
     // Erase every thermal trace of previous scenarios: the governor's
     // clamp and the carried transient temperatures both must not leak
@@ -106,6 +110,7 @@ Simulator::capturePerf(const perf::KernelProgram &prog,
                        const perf::LaunchConfig &launch,
                        bool with_trace, double sample_interval_s)
 {
+    GSP_TRACE_SPAN("sim/capture");
     KernelSnapshot snap;
     snap.with_trace = with_trace;
     perf::Gpu::SampleFn sampler;
@@ -158,6 +163,7 @@ Simulator::evaluateSamples(const KernelSnapshot &snap,
             run.trace.push_back(s);
         }
     } else if (snap.with_trace) {
+        GSP_TRACE_SPAN("thermal/transient");
         // Thermal transient path: every sampling interval advances
         // the RC network under that interval's block powers, with
         // the leakage share of the next interval re-evaluated at the
@@ -251,6 +257,7 @@ KernelRun
 Simulator::replayKernel(const KernelSnapshot &snap,
                         const power::BatchedKernelPower *batched)
 {
+    GSP_TRACE_SPAN("sim/replay");
     if (_cfg.thermal.enabled && _cfg.thermal.throttle)
         fatal("cannot replay a snapshot under a throttling governor: "
               "its power-to-clock feedback changes timing; run the "
@@ -385,8 +392,13 @@ Simulator::runThermal(const perf::KernelProgram &prog,
 
     bool throttled = false;
     if (_cfg.thermal.throttle && !within(steady, 0.0)) {
+        static obs::Counter &c_rounds =
+            obs::Registry::instance().counter(
+                "sim/governor_rounds",
+                "throttle-governor refinement rounds executed");
         double f_meas = _nominal_freq_scale; // clock bp was measured at
         for (int round = 0; round < max_governor_rounds; ++round) {
+            c_rounds.add(1);
             // Largest clock whose modeled steady state respects the
             // limit, by bisection on the measured power split.
             double lo = min_throttle_freq_scale;

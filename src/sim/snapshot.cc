@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "obs/trace.hh"
 
 namespace gpusimpow {
 
@@ -113,6 +114,7 @@ parseKernel(std::istream &in)
 std::string
 ActivitySnapshot::serialize() const
 {
+    GSP_TRACE_SPAN("snapshot/serialize");
     std::ostringstream out;
     out << snapshot_magic << " v" << snapshot_version << '\n';
     out << "workload " << workload << '\n';
@@ -130,6 +132,7 @@ ActivitySnapshot::serialize() const
 ActivitySnapshot
 ActivitySnapshot::parse(const std::string &text)
 {
+    GSP_TRACE_SPAN("snapshot/parse");
     std::istringstream in(text);
     expectToken(in, snapshot_magic);
     std::string version = readToken(in, "snapshot version");

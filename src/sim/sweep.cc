@@ -169,6 +169,27 @@ SweepResult::setReplayedScenarios(std::size_t n)
     _replayed = n;
 }
 
+void
+SweepResult::setTelemetry(SweepTelemetry telemetry)
+{
+    std::lock_guard<std::mutex> lock(*_mutex);
+    _telemetry = std::move(telemetry);
+}
+
+std::string
+SweepTelemetry::toJson() const
+{
+    // Decimal seconds are fine here: the document is diagnostics, not
+    // one of the bit-exact *serialize* round-trip formats.
+    return strformat("{\n\"schema\":\"gpusimpow-metrics-1\",\n"
+                     "\"sweep\":{\"scenarios\":%zu,\"captured\":%zu,"
+                     "\"replayed\":%zu,\"governed\":%zu,"
+                     "\"workers\":%u,\"wall_s\":%.6f},\n",
+                     scenarios, captured, replayed, governed, workers,
+                     wall_s) +
+           metrics.jsonBody() + "\n}\n";
+}
+
 double
 SweepResult::totalSimulatedTime() const
 {

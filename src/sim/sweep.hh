@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "config/gpu_config.hh"
+#include "obs/metrics.hh"
 #include "sim/simulator.hh"
 
 namespace gpusimpow {
@@ -170,6 +171,41 @@ struct ScenarioResult
 };
 
 /**
+ * How a sweep executed, as opposed to what it produced: scheduling
+ * counts the engine asserts from its own per-run atomics (so they are
+ * exact even when other engines run concurrently in the process),
+ * plus the observability registry's delta over the run. Dumped as the
+ * `--metrics-json` document; see docs/observability.md for the
+ * counter name registry.
+ */
+struct SweepTelemetry
+{
+    /** Scenarios executed (== SweepResult::size()). */
+    std::size_t scenarios = 0;
+    /** Scenarios that ran timing and captured an ActivitySnapshot. */
+    std::size_t captured = 0;
+    /** Scenarios whose power phase replayed from a snapshot. */
+    std::size_t replayed = 0;
+    /** Scenarios pinned to full simulation by the throttling
+     *  governor's power-to-timing feedback. */
+    std::size_t governed = 0;
+    /** Worker threads the run actually used. */
+    unsigned workers = 0;
+    /** Wall-clock duration of SimulationEngine::run(), s. */
+    double wall_s = 0.0;
+    /**
+     * Registry delta over the run (counters, gauges, histograms).
+     * The registry is process-wide: when several engines run
+     * concurrently their deltas mix here — the scheduling counts
+     * above are the per-run source of truth.
+     */
+    obs::MetricsSnapshot metrics;
+
+    /** The `--metrics-json` document (schema gpusimpow-metrics-1). */
+    std::string toJson() const;
+};
+
+/**
  * Thread-safe result table of a sweep. Slots are preallocated in
  * scenario order; workers publish each finished ScenarioResult into
  * its own slot, so iteration order always matches SweepSpec::expand()
@@ -211,11 +247,18 @@ class SweepResult
     std::size_t replayedScenarios() const;
     void setReplayedScenarios(std::size_t n);
 
+    /** Execution telemetry of the run that produced this table
+     *  (default-constructed for hand-built tables). Set by the
+     *  engine once the run has drained. */
+    const SweepTelemetry &telemetry() const { return _telemetry; }
+    void setTelemetry(SweepTelemetry telemetry);
+
   private:
     /** unique_ptr keeps SweepResult movable despite the mutex. */
     std::unique_ptr<std::mutex> _mutex;
     std::vector<ScenarioResult> _rows;
     std::size_t _replayed = 0;
+    SweepTelemetry _telemetry;
 };
 
 } // namespace sim

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "config/gpu_config.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace gpusimpow {
 namespace thermal {
@@ -188,12 +190,21 @@ ThermalNetwork::solveSteady(
         std::vector<double>(const std::vector<double> &)> &power_at)
     const
 {
+    GSP_TRACE_SPAN("thermal/steady");
+    static obs::Counter &c_solves = obs::Registry::instance().counter(
+        "thermal/steady_solves", "steady-state network solves");
+    static obs::Counter &c_iters = obs::Registry::instance().counter(
+        "thermal/steady_iterations",
+        "fixed-point iterations across steady solves");
+    c_solves.add(1);
+
     SteadyResult result;
     result.temps_k.assign(_blocks.size(), _ambient_k);
     result.heatsink_k = _ambient_k;
 
     bool capped = false;
     for (unsigned iter = 0; iter < steady_max_iterations; ++iter) {
+        c_iters.add(1);
         std::vector<double> powers = power_at(result.temps_k);
         std::vector<double> nodes = solveLinear(powers);
         capped = false;

@@ -7,6 +7,7 @@ Rules (see the rule_*.py modules for the full rationale):
   unordered-order         no hash-ordered iteration in result paths
   hexfloat-serialization  doubles cross text boundaries as hex floats
   naked-alloc             no raw new/malloc outside src/common
+  timing-clock            wall-time comes from obs::monotonicNs()
 
 Usage:
   check_contracts.py [--root DIR]   lint the tree (default: repo root)
@@ -26,10 +27,12 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from lint_common import SourceFile  # noqa: E402
 import rule_alloc  # noqa: E402
 import rule_hexfloat  # noqa: E402
+import rule_timing  # noqa: E402
 import rule_unordered  # noqa: E402
 import rule_xmacro  # noqa: E402
 
-RULES = (rule_xmacro, rule_unordered, rule_hexfloat, rule_alloc)
+RULES = (rule_xmacro, rule_unordered, rule_hexfloat, rule_alloc,
+         rule_timing)
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 SOURCE_SUFFIXES = (".cc", ".hh", ".cpp", ".hpp", ".h")
@@ -74,6 +77,7 @@ SELF_TESTS = {
     "unordered_iter": {"unordered-order": 3},
     "float_serialize": {"hexfloat-serialization": 2},
     "naked_alloc": {"naked-alloc": 2},
+    "raw_timing": {"timing-clock": 2},
     "clean": {},
 }
 

@@ -1,0 +1,16 @@
+#include <chrono>
+
+namespace gpusimpow {
+namespace obs {
+
+// src/obs/ owns the clock: raw steady_clock reads are sanctioned here.
+uint64_t
+monotonicNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace obs
+} // namespace gpusimpow

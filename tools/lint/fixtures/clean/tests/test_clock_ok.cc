@@ -1,0 +1,17 @@
+#include <chrono>
+
+// A deliberate raw read with a justification is accepted anywhere.
+// lint: timing-ok(this test compares the raw clock against the wrapper)
+static uint64_t
+rawClockNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int
+main()
+{
+    return rawClockNs() == 0;
+}

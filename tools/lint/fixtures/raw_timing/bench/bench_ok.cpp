@@ -1,0 +1,10 @@
+#include <chrono>
+
+// bench/ is exempt: the harness times with raw chrono on purpose.
+int
+main()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
+    return t1 < t0;
+}

@@ -1,0 +1,23 @@
+#include <chrono>
+
+namespace gpusimpow {
+
+// Raw clock read in engine code: must be flagged.
+uint64_t
+wallNow()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// Annotation without a reason does not bless the read.
+// lint: timing-ok()
+uint64_t
+wallNowUnjustified()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace gpusimpow

@@ -1,0 +1,46 @@
+"""Single-clock discipline for wall-time measurement.
+
+All engine wall-time comes from ``obs::monotonicNs()`` (src/obs/) so
+spans, telemetry and progress displays share one epoch and one clock —
+a raw ``std::chrono::steady_clock`` read elsewhere produces timestamps
+that cannot be correlated with the trace. This rule flags raw
+``std::chrono::steady_clock`` uses outside the sanctioned homes:
+
+  * src/obs/ owns the clock (monotonicNs() is the one wrapper);
+  * bench/ times with raw chrono on purpose — the harness must not
+    depend on the observability layer it measures.
+
+Escape hatch for a deliberate raw read (e.g. a test exercising clock
+behaviour itself): `// lint: timing-ok(<reason>)` above the line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lint_common import Finding, line_of_offset
+
+RULE = "timing-clock"
+KIND = "timing-ok"
+
+_CLOCK_RE = re.compile(r"\bstd\s*::\s*chrono\s*::\s*steady_clock\b")
+
+# Directories where raw steady_clock reads are the sanctioned idiom.
+_EXEMPT_PREFIXES = ("src/obs/", "bench/")
+
+
+def check(files):
+    findings = []
+    for path, sf in sorted(files.items()):
+        if path.startswith(_EXEMPT_PREFIXES):
+            continue
+        for m in _CLOCK_RE.finditer(sf.code):
+            line = line_of_offset(sf.code, m.start())
+            if sf.annotated(KIND, line):
+                continue
+            findings.append(Finding(
+                path, line, RULE,
+                "raw std::chrono::steady_clock read; use "
+                "obs::monotonicNs() so timestamps share the trace "
+                "epoch, or annotate with lint: timing-ok(reason)"))
+    return findings
