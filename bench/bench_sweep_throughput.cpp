@@ -18,6 +18,11 @@
  * timing once per workload and replays the power phase everywhere
  * else. Results must stay bit-identical to the --no-memo path.
  *
+ * Section 4 extends that across process lifetimes: the same sweep
+ * against a persistent store, cold (captures written to disk) and
+ * warm (a fresh session replays everything from disk, zero timing
+ * captures), cross-checked bit-identical.
+ *
  * With --benchmark_format=json the measurements are emitted to
  * stdout as Google-Benchmark-style JSON (human-readable output moves
  * to stderr), which is what the CI benchmark-regression gate
@@ -28,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
@@ -36,6 +42,8 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "sim/engine.hh"
+#include "sim/session.hh"
+#include "store/store.hh"
 
 using namespace gpusimpow;
 
@@ -105,15 +113,21 @@ double
 runOnce(const sim::SweepSpec &spec, unsigned jobs,
         std::vector<double> &energies_out,
         bool reuse_simulators = true, bool memoize = true,
-        std::size_t *replayed_out = nullptr)
+        std::size_t *replayed_out = nullptr,
+        store::StoreHandle store = nullptr,
+        std::size_t *captured_out = nullptr)
 {
-    sim::EngineOptions opt;
-    opt.jobs = jobs;
-    opt.reuse_simulators = reuse_simulators;
-    opt.memoize = memoize;
-    sim::SimulationEngine engine(opt);
+    // Sweeps go through the public SweepSession entry point, same as
+    // the CLI and the service; a fresh session per run keeps the
+    // in-memory snapshot cache from bleeding between measurements.
+    sim::SweepSession session(sim::EngineOptions()
+                                  .withJobs(jobs)
+                                  .withReuseSimulators(
+                                      reuse_simulators)
+                                  .withMemoize(memoize),
+                              std::move(store));
     auto t0 = std::chrono::steady_clock::now();
-    sim::SweepResult result = engine.run(spec);
+    sim::SweepResult result = session.submit(spec);
     auto t1 = std::chrono::steady_clock::now();
 
     energies_out.clear();
@@ -124,6 +138,8 @@ runOnce(const sim::SweepSpec &spec, unsigned jobs,
     }
     if (replayed_out)
         *replayed_out = result.replayedScenarios();
+    if (captured_out)
+        *captured_out = result.telemetry().captured;
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
@@ -252,6 +268,46 @@ runBench(FILE *out)
     record("memo_sweep/full", {{"wall_s", full_s},
                                {"scenarios_per_s", memo_n / full_s}});
     record("memo_sweep/speedup", {{"speedup", speedup}});
+
+    // --- 4: persistent store: cold capture vs warm replay ---
+    // The same power-axes sweep against an on-disk store. The cold
+    // run captures and persists; the warm run is a fresh session (a
+    // new process, as far as the store can tell) answering entirely
+    // from disk — zero timing captures, bit-identical results.
+    std::filesystem::path store_dir =
+        std::filesystem::temp_directory_path() / "gsp-bench-store";
+    std::filesystem::remove_all(store_dir);
+    std::vector<double> cold_e, warm_e;
+    std::size_t cold_captured = 0, warm_captured = 0;
+    double cold_s = runOnce(memo_spec, 1, cold_e, true, true, nullptr,
+                            store::openStore(store_dir),
+                            &cold_captured);
+    double warm_s = runOnce(memo_spec, 1, warm_e, true, true, nullptr,
+                            store::openStore(store_dir),
+                            &warm_captured);
+    std::filesystem::remove_all(store_dir);
+    if (warm_e != cold_e)
+        fatal("store-served sweep results differ from the cold run");
+    if (warm_captured != 0)
+        fatal("warm store still captured ", warm_captured,
+              " scenario(s)");
+    std::fprintf(out,
+                 "\n=== Persistent store: warm replay across "
+                 "sessions (%zu scenarios) ===\n", memo_n);
+    std::fprintf(out, "%6s %12s %16s %10s\n", "run", "wall[s]",
+                 "scenarios/s", "captured");
+    std::fprintf(out, "%6s %12.3f %16.2f %10zu\n", "cold", cold_s,
+                 memo_n / cold_s, cold_captured);
+    std::fprintf(out, "%6s %12.3f %16.2f %10zu\n", "warm", warm_s,
+                 memo_n / warm_s, warm_captured);
+    std::fprintf(out,
+                 "warm-store scenario throughput: %.2fx the cold run "
+                 "(results bit-identical, zero captures)\n",
+                 cold_s / warm_s);
+    record("store_sweep/cold", {{"wall_s", cold_s},
+                                {"scenarios_per_s", memo_n / cold_s}});
+    record("store_sweep/warm", {{"wall_s", warm_s},
+                                {"scenarios_per_s", memo_n / warm_s}});
     return 0;
 }
 

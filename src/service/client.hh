@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Client side of the sweep service protocol: connect, submit a
+ * SweepRequest, consume the streamed per-scenario rows, and collect
+ * the final table and metrics documents — exactly what the server
+ * sent, byte for byte, so a client-side result table diffs clean
+ * against a locally computed one.
+ */
+
+#ifndef GPUSIMPOW_SERVICE_CLIENT_HH
+#define GPUSIMPOW_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/request.hh"
+
+namespace gpusimpow {
+namespace service {
+
+/** One client connection to a sweep server. */
+class SweepClient
+{
+  public:
+    /** Connect to host:port; fatal() when the server is unreachable. */
+    SweepClient(const std::string &host, uint16_t port);
+    ~SweepClient();
+
+    SweepClient(const SweepClient &) = delete;
+    SweepClient &operator=(const SweepClient &) = delete;
+
+    /** Everything a finished job sent back. */
+    struct JobResult
+    {
+        /** False when the server answered with an error frame (or
+         *  the connection broke); `error` carries the reason. */
+        bool ok = false;
+        std::string error;
+        /** The formatted result table, byte-identical to the
+         *  server's SweepResult::formatTable(). */
+        std::string table;
+        /** The job's telemetry JSON (`--metrics-json` document). */
+        std::string metrics_json;
+        /** Streamed rows in completion order. */
+        std::size_t rows = 0;
+    };
+
+    /**
+     * Submit one job and block until `done`/`error`. `on_row` (when
+     * set) observes each streamed progress line as it arrives.
+     */
+    JobResult
+    submitJob(const sim::SweepRequest &request,
+              const std::function<void(const std::string &)> &on_row =
+                  {});
+
+    /** Ask the server to stop accepting and drain; waits for the
+     *  acknowledging `done`. */
+    bool shutdownServer();
+
+  private:
+    int _fd = -1;
+};
+
+} // namespace service
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_SERVICE_CLIENT_HH

@@ -1,0 +1,207 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "service/protocol.hh"
+#include "sim/request.hh"
+
+namespace gpusimpow {
+namespace service {
+
+namespace {
+
+/** The service's instrument set, registered once. */
+struct ServiceMetrics
+{
+    obs::Counter &connections;
+    obs::Counter &jobs;
+    obs::Counter &rows;
+    obs::Counter &errors;
+
+    static ServiceMetrics &instance()
+    {
+        obs::Registry &reg = obs::Registry::instance();
+        static ServiceMetrics m{
+            reg.counter("service/connections",
+                        "client connections accepted"),
+            reg.counter("service/jobs", "sweep jobs executed"),
+            reg.counter("service/rows", "per-scenario rows streamed"),
+            reg.counter("service/errors",
+                        "jobs answered with an error frame"),
+        };
+        return m;
+    }
+};
+
+/** The streamed `row` payload: a human-readable progress line; the
+ *  `table` frame is the authoritative result. */
+std::string
+formatRow(const sim::ScenarioResult &r, std::size_t done,
+          std::size_t total)
+{
+    return strformat("%zu/%zu %s: %.3f ms, %.3f mJ%s", done, total,
+                     r.scenario.label.c_str(), r.time_s * 1e3,
+                     r.energy_j * 1e3,
+                     r.verified ? "" : " [VERIFY FAIL]");
+}
+
+} // namespace
+
+SweepServer::SweepServer(std::shared_ptr<sim::SweepSession> session,
+                         uint16_t port)
+    : _session(std::move(session))
+{
+    _listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listen_fd < 0)
+        fatal("serve: socket(): ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(_listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("serve: cannot bind 127.0.0.1:", port, ": ",
+              std::strerror(errno));
+    if (::listen(_listen_fd, 16) < 0)
+        fatal("serve: listen(): ", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(_listen_fd,
+                      reinterpret_cast<sockaddr *>(&addr), &len) < 0)
+        fatal("serve: getsockname(): ", std::strerror(errno));
+    _port = ntohs(addr.sin_port);
+}
+
+SweepServer::~SweepServer()
+{
+    if (_listen_fd >= 0)
+        ::close(_listen_fd);
+}
+
+void
+SweepServer::run()
+{
+    inform("serve: listening on 127.0.0.1:", _port);
+    while (!_stop.load()) {
+        pollfd pfd{_listen_fd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 200);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll(): ", std::strerror(errno));
+            break;
+        }
+        if (r == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(_listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno != EINTR)
+                warn("serve: accept(): ", std::strerror(errno));
+            continue;
+        }
+        // An idle-receive timeout keeps the handler loop checking
+        // the stop flag while a client holds its connection open.
+        timeval tv{0, 200000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ServiceMetrics::instance().connections.add(1);
+        std::lock_guard<std::mutex> lock(_threads_mutex);
+        _threads.emplace_back(
+            [this, fd] {
+                obs::Tracer::instance().labelThread(
+                    strformat("client-%d", fd));
+                handleClient(fd);
+                ::close(fd);
+            });
+    }
+    // Drain: in-flight jobs finish and their results are persisted
+    // before run() returns, so the caller can close the store.
+    std::lock_guard<std::mutex> lock(_threads_mutex);
+    for (std::thread &t : _threads)
+        t.join();
+    _threads.clear();
+}
+
+void
+SweepServer::handleClient(int fd)
+{
+    ServiceMetrics &m = ServiceMetrics::instance();
+    FrameReader reader(fd);
+    while (!_stop.load()) {
+        Frame in;
+        std::string err;
+        if (!reader.read(in, err)) {
+            if (err == err_timeout)
+                continue; // idle; poll the stop flag again
+            if (!err.empty())
+                warn("serve: dropping client: ", err);
+            return;
+        }
+        if (in.type == frame::shutdown) {
+            writeFrame(fd, frame::done, "");
+            inform("serve: shutdown requested by client");
+            stop();
+            return;
+        }
+        if (in.type != frame::job) {
+            writeFrame(fd, frame::error,
+                       "unexpected frame '" + in.type + "'");
+            return;
+        }
+
+        GSP_TRACE_SPAN("service/job");
+        try {
+            sim::SweepRequest request =
+                sim::SweepRequest::parse(in.payload);
+            sim::SweepSpec spec = request.toSpec();
+            // writeFrame failures are remembered, not fatal: the job
+            // must run to completion either way so the session's
+            // claims resolve and the store still warms up.
+            bool peer_ok = true;
+            sim::SweepResult result = _session->submit(
+                spec, [&](const sim::ScenarioResult &r,
+                          std::size_t done, std::size_t total) {
+                    if (peer_ok &&
+                        !writeFrame(fd, frame::row,
+                                    formatRow(r, done, total)))
+                        peer_ok = false;
+                    m.rows.add(1);
+                });
+            m.jobs.add(1);
+            peer_ok = peer_ok &&
+                      writeFrame(fd, frame::table,
+                                 result.formatTable());
+            peer_ok = peer_ok &&
+                      writeFrame(fd, frame::metrics,
+                                 result.telemetry().toJson());
+            peer_ok = peer_ok && writeFrame(fd, frame::done, "");
+            if (!peer_ok) {
+                warn("serve: client vanished mid-job");
+                return;
+            }
+        } catch (const FatalError &e) {
+            m.errors.add(1);
+            writeFrame(fd, frame::error, e.what());
+        } catch (const std::exception &e) {
+            m.errors.add(1);
+            writeFrame(fd, frame::error, e.what());
+        }
+    }
+}
+
+} // namespace service
+} // namespace gpusimpow

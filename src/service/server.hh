@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The long-running sweep server: accepts client connections on a TCP
+ * port, executes submitted sweep jobs on one shared SweepSession,
+ * and streams per-scenario results back as they finish. Because all
+ * jobs share the session, identical scenarios across concurrent
+ * clients are captured exactly once (the session's in-flight dedupe)
+ * and repeat queries are answered from the persistent store in
+ * O(lookup) — no timing simulation at all.
+ *
+ * Wire protocol: see service/protocol.hh and docs/sweep_service.md.
+ */
+
+#ifndef GPUSIMPOW_SERVICE_SERVER_HH
+#define GPUSIMPOW_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/session.hh"
+
+namespace gpusimpow {
+namespace service {
+
+/** One listening sweep service over a shared SweepSession. */
+class SweepServer
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:port (port 0 = ephemeral, for
+     * tests — read the resolved port()). fatal() when the socket
+     * cannot be bound.
+     */
+    SweepServer(std::shared_ptr<sim::SweepSession> session,
+                uint16_t port);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    uint16_t port() const { return _port; }
+
+    /**
+     * Accept-and-serve until stop() is called or a client sends a
+     * `shutdown` frame. Each connection is handled on its own
+     * thread; run() joins them all before returning, so the store
+     * and session are quiescent afterwards.
+     */
+    void run();
+
+    /** Ask run() to wind down (thread-safe, idempotent). */
+    void stop() { _stop.store(true); }
+
+  private:
+    void handleClient(int fd);
+
+    std::shared_ptr<sim::SweepSession> _session;
+    int _listen_fd = -1;
+    uint16_t _port = 0;
+    std::atomic<bool> _stop{false};
+    std::mutex _threads_mutex;
+    std::vector<std::thread> _threads;
+};
+
+} // namespace service
+} // namespace gpusimpow
+
+#endif // GPUSIMPOW_SERVICE_SERVER_HH

@@ -58,20 +58,23 @@ finalizeScenario(ScenarioResult &result, const Simulator &simulator)
 }
 
 /**
- * Replay one batched work unit: unit[0]'s scenario has already been
- * captured into `snapshot`; every remaining member is a power-only
- * variant of the same timing fingerprint. Traced snapshots evaluate
- * all variants' intervals together through the batched matrix
- * evaluator (kernels outer, variants inner: each kernel's activity
- * matrix is packed once and multiplied against the whole coefficient
- * stack); untraced snapshots fall back to the scalar whole-kernel
- * replay per variant, where there is no interval loop to batch.
+ * Replay one batched work unit from `snapshot`, starting at member
+ * index `first`: first == 1 when unit[0] was just captured (and
+ * published) by the caller, first == 0 when the snapshot came from an
+ * external source (EngineOptions::snapshot_source) and every member
+ * replays. All replayed members are power-only variants of the same
+ * timing fingerprint. Traced snapshots evaluate all variants'
+ * intervals together through the batched matrix evaluator (kernels
+ * outer, variants inner: each kernel's activity matrix is packed once
+ * and multiplied against the whole coefficient stack); untraced
+ * snapshots fall back to the scalar whole-kernel replay per variant,
+ * where there is no interval loop to batch.
  */
 template <typename Publish>
 void
 replayGroup(const SimulationEngine &engine,
             const std::vector<Scenario> &scenarios,
-            const std::vector<std::size_t> &unit,
+            const std::vector<std::size_t> &unit, std::size_t first,
             const ActivitySnapshot &snapshot,
             power::BatchedPowerEvaluator::Workspace &batch_ws,
             Publish &&publish, std::atomic<std::size_t> &replayed)
@@ -84,7 +87,7 @@ replayGroup(const SimulationEngine &engine,
         obs::Registry::instance().counter("engine/simulator_builds");
 
     if (!snapshot.with_trace) {
-        for (std::size_t k = 1; k < unit.size(); ++k) {
+        for (std::size_t k = first; k < unit.size(); ++k) {
             const Scenario &variant = scenarios[unit[k]];
             Simulator sim(variant.config);
             c_builds.add(1);
@@ -98,13 +101,13 @@ replayGroup(const SimulationEngine &engine,
     // One Simulator per variant: their compiled power models are the
     // coefficient stack, and each carries its own thermal state
     // across the snapshot's kernels, exactly like a scalar replay.
-    const std::size_t n_variants = unit.size() - 1;
+    const std::size_t n_variants = unit.size() - first;
     std::vector<const Scenario *> variants;
     std::vector<std::unique_ptr<Simulator>> sims;
     variants.reserve(n_variants);
     sims.reserve(n_variants);
     bool want_blocks = false;
-    for (std::size_t k = 1; k < unit.size(); ++k) {
+    for (std::size_t k = first; k < unit.size(); ++k) {
         variants.push_back(&scenarios[unit[k]]);
         sims.push_back(
             std::make_unique<Simulator>(variants.back()->config));
@@ -160,9 +163,26 @@ replayGroup(const SimulationEngine &engine,
 
 } // namespace
 
+void
+EngineOptions::validate() const
+{
+    if (jobs > max_jobs)
+        fatal("EngineOptions: jobs ", jobs, " exceeds the worker cap ",
+              max_jobs);
+    if (!(sample_interval_s > 0.0))
+        fatal("EngineOptions: sample_interval_s ", sample_interval_s,
+              " must be > 0; a non-positive period records an empty "
+              "waveform");
+    if ((snapshot_source || snapshot_sink) && !memoize)
+        fatal("EngineOptions: snapshot_source/snapshot_sink require "
+              "memoize — an external snapshot provider can only feed "
+              "the memoized replay path");
+}
+
 SimulationEngine::SimulationEngine(EngineOptions options)
     : _options(std::move(options))
 {
+    _options.validate();
     _jobs = _options.jobs;
     if (_jobs == 0) {
         _jobs = std::thread::hardware_concurrency();
@@ -468,23 +488,64 @@ SimulationEngine::run(const SweepSpec &spec) const
                 }
             };
             try {
-                if (unit.size() > 1) {
-                    // Capture once on the unit's first scenario,
-                    // then batch-replay the power-only variants.
+                const bool hooked = static_cast<bool>(
+                    _options.snapshot_source || _options.snapshot_sink);
+                if (unit.size() > 1 ||
+                    (grouped && hooked &&
+                     scenarios[unit.front()].replayable())) {
+                    // One snapshot serves the whole unit: either the
+                    // external source already has one for this key
+                    // (then every member replays, zero timing cost),
+                    // or the unit's first scenario captures it and
+                    // the power-only variants batch-replay. Singleton
+                    // replayable units take this path too when hooks
+                    // are set, so the store sees every key.
                     GSP_TRACE_SPAN("engine/batch_group");
                     const Scenario &first = scenarios[unit.front()];
-                    ActivitySnapshot captured_snap;
-                    {
+
+                    std::shared_ptr<const ActivitySnapshot> external;
+                    if (_options.snapshot_source)
+                        external = _options.snapshot_source(first);
+                    if (external) {
+                        GSP_TRACE_SPAN("engine/replay");
+                        if (unit.size() == 1) {
+                            publish(replayScenario(first, *external,
+                                                   acquire(first)));
+                            replayed.fetch_add(1);
+                            c_replayed.add(1);
+                        } else {
+                            replayGroup(*this, scenarios, unit, 0,
+                                        *external, batch_ws, publish,
+                                        replayed);
+                        }
+                        busy_ns += obs::monotonicNs() - t_unit0;
+                        continue;
+                    }
+
+                    auto captured_snap =
+                        std::make_shared<ActivitySnapshot>();
+                    try {
                         GSP_TRACE_SPAN("engine/capture");
                         publish(runScenario(first, acquire(first),
-                                            &captured_snap));
+                                            captured_snap.get()));
+                    } catch (...) {
+                        // A source that registered in-flight state on
+                        // the miss must be released, or waiters on
+                        // this key would block forever.
+                        if (_options.snapshot_sink)
+                            _options.snapshot_sink(first, nullptr);
+                        throw;
                     }
                     captured.fetch_add(1);
                     c_captured.add(1);
-                    {
+                    // Persist before replaying the variants so other
+                    // jobs waiting on this key unblock immediately.
+                    if (_options.snapshot_sink)
+                        _options.snapshot_sink(first, captured_snap);
+                    if (unit.size() > 1) {
                         GSP_TRACE_SPAN("engine/replay");
-                        replayGroup(*this, scenarios, unit,
-                                    captured_snap, batch_ws, publish,
+                        replayGroup(*this, scenarios, unit, 1,
+                                    *captured_snap, batch_ws, publish,
                                     replayed);
                     }
                     busy_ns += obs::monotonicNs() - t_unit0;
@@ -500,37 +561,64 @@ SimulationEngine::run(const SweepSpec &spec) const
                 if (!grouped && _options.memoize &&
                     scenario.replayable()) {
                     key = scenario.snapshotKey();
-                    std::lock_guard<std::mutex> lock(snapshot_mutex);
-                    auto it = snapshots.find(key);
-                    if (it != snapshots.end())
-                        snapshot = it->second;
-                    (snapshot ? c_cache_hit : c_cache_miss).add(1);
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            snapshot_mutex);
+                        auto it = snapshots.find(key);
+                        if (it != snapshots.end())
+                            snapshot = it->second;
+                        (snapshot ? c_cache_hit : c_cache_miss).add(1);
+                    }
+                    // In-run miss: ask the external source (outside
+                    // the cache mutex — the call may block) and seed
+                    // the run cache with what it returns.
+                    if (!snapshot && _options.snapshot_source) {
+                        snapshot = _options.snapshot_source(scenario);
+                        if (snapshot) {
+                            std::lock_guard<std::mutex> lock(
+                                snapshot_mutex);
+                            snapshots.emplace(key, snapshot);
+                        }
+                    }
                 }
 
-                Simulator &sim = acquire(scenario);
                 ScenarioResult result;
                 if (snapshot) {
                     GSP_TRACE_SPAN("engine/replay");
-                    result = replayScenario(scenario, *snapshot, sim);
+                    result = replayScenario(scenario, *snapshot,
+                                            acquire(scenario));
                     replayed.fetch_add(1);
                     c_replayed.add(1);
                 } else if (!key.empty()) {
                     auto captured_snap =
                         std::make_shared<ActivitySnapshot>();
-                    {
+                    // acquire() inside the try: once the source has
+                    // declined, a claim may be held, and even a
+                    // Simulator construction failure must release it.
+                    try {
                         GSP_TRACE_SPAN("engine/capture");
-                        result = runScenario(scenario, sim,
+                        result = runScenario(scenario,
+                                             acquire(scenario),
                                              captured_snap.get());
+                    } catch (...) {
+                        // Release the source's in-flight claim.
+                        if (_options.snapshot_sink)
+                            _options.snapshot_sink(scenario, nullptr);
+                        throw;
                     }
                     captured.fetch_add(1);
                     c_captured.add(1);
+                    if (_options.snapshot_sink)
+                        _options.snapshot_sink(scenario,
+                                               captured_snap);
                     std::lock_guard<std::mutex> lock(snapshot_mutex);
                     if (!snapshots
                              .emplace(key, std::move(captured_snap))
                              .second)
                         c_insert_race.add(1);
                 } else {
-                    result = runScenario(scenario, sim, nullptr);
+                    result = runScenario(scenario, acquire(scenario),
+                                         nullptr);
                 }
                 publish(std::move(result));
             } catch (...) {

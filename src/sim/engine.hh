@@ -36,15 +36,32 @@
 #define GPUSIMPOW_SIM_ENGINE_HH
 
 #include <functional>
+#include <memory>
 
 #include "sim/sweep.hh"
 
 namespace gpusimpow {
 namespace sim {
 
-/** Tuning knobs of the SimulationEngine. */
+/**
+ * Tuning knobs of the SimulationEngine (and, through SweepSession,
+ * of every sweep entry point in the tree).
+ *
+ * One construction idiom everywhere: chain the named setters and let
+ * the consumer (SimulationEngine / SweepSession) call validate() —
+ * an incoherent combination fails with a fatal() naming both knobs
+ * instead of being silently reinterpreted.
+ *
+ *     auto opt = EngineOptions()
+ *                    .withJobs(4)
+ *                    .withMemoize(false)
+ *                    .withTrace(true, 10e-6);
+ */
 struct EngineOptions
 {
+    /** Hard worker cap: above this, thread overhead only hurts. */
+    static constexpr unsigned max_jobs = 1024;
+
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned jobs = 0;
     /** Also produce sampled power waveforms per kernel. */
@@ -93,6 +110,72 @@ struct EngineOptions
      */
     std::function<void(const ScenarioResult &, std::size_t,
                        std::size_t)> progress;
+
+    /**
+     * External snapshot provider, consulted (when set, and memoize is
+     * on) before the engine captures a replayable scenario's timing:
+     * return a snapshot captured under the same Scenario::snapshotKey()
+     * and the whole work unit replays from it — zero timing cost;
+     * return nullptr and the engine captures as usual. This is how
+     * SweepSession plugs the persistent store and its cross-job
+     * in-flight dedupe under the scheduler; the call may block (e.g.
+     * waiting for another job's in-flight capture of the same key).
+     */
+    std::function<std::shared_ptr<const ActivitySnapshot>(
+        const Scenario &)> snapshot_source;
+
+    /**
+     * Called once per snapshot the engine captured after the source
+     * declined (snapshot non-null), and once with nullptr if that
+     * capture failed — so a source that registered in-flight state on
+     * the miss is always released. Runs on worker threads; must be
+     * thread-safe. Failures to persist must be handled inside the
+     * sink (warn, never throw).
+     */
+    std::function<void(const Scenario &,
+                       const std::shared_ptr<const ActivitySnapshot> &)>
+        snapshot_sink;
+
+    // ----- named setters: the one construction idiom -----
+
+    EngineOptions &withJobs(unsigned n) { jobs = n; return *this; }
+    EngineOptions &withTrace(bool on, double interval_s = 20e-6)
+    {
+        with_trace = on;
+        sample_interval_s = interval_s;
+        return *this;
+    }
+    EngineOptions &withReuseSimulators(bool on)
+    {
+        reuse_simulators = on;
+        return *this;
+    }
+    EngineOptions &withMemoize(bool on) { memoize = on; return *this; }
+    EngineOptions &withBatchReplay(bool on)
+    {
+        batch_replay = on;
+        return *this;
+    }
+    EngineOptions &withProgress(
+        std::function<void(const ScenarioResult &, std::size_t,
+                           std::size_t)> fn)
+    {
+        progress = std::move(fn);
+        return *this;
+    }
+
+    /**
+     * Reject incoherent combinations with a fatal() naming the
+     * offending knobs:
+     *   - jobs above max_jobs (thread-pool runaway);
+     *   - a non-positive sampling period (an empty waveform can
+     *     never be what the caller wanted, traced or not);
+     *   - snapshot hooks without memoization (a store or in-flight
+     *     map can only feed the memoized replay path — silently
+     *     ignoring the hooks would "work" while persisting nothing).
+     * Called by SimulationEngine and SweepSession on construction.
+     */
+    void validate() const;
 };
 
 /** Fixed-size worker pool executing sweeps of independent scenarios. */

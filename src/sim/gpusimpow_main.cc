@@ -58,9 +58,25 @@
  *     --metrics-json FILE       dump the observability metrics as
  *                               JSON (with the sweep's telemetry
  *                               summary in --sweep mode)
+ *     --store DIR               persistent snapshot store for --sweep:
+ *                               captures are written to DIR and a
+ *                               repeat sweep replays from it with
+ *                               zero timing captures
  *
  * In --sweep mode --gpu and --workload accept comma-separated lists,
  * and --workload also accepts "all" (every Table I benchmark).
+ *
+ * Service subcommands (docs/sweep_service.md):
+ *   gpusimpow serve --store DIR --port N [--jobs N] [--trace-out F]
+ *     long-running sweep server: clients submit jobs, identical
+ *     scenarios across concurrent jobs are captured once, repeat
+ *     queries are answered from the store in O(lookup)
+ *   gpusimpow submit [--host H] --port N [sweep axis flags...]
+ *     run one sweep job on a server; streams per-scenario progress
+ *     to stderr and prints the server's result table on stdout
+ *     (byte-identical to a local --sweep of the same axes)
+ *   gpusimpow stop-server [--host H] --port N
+ *     ask a server to drain in-flight jobs and exit
  */
 
 #include <algorithm>
@@ -75,17 +91,29 @@
 #include "common/strutil.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "sim/engine.hh"
+#include "sim/request.hh"
+#include "sim/session.hh"
 #include "sim/simulator.hh"
-#include "tech/tech.hh"
+#include "store/store.hh"
 #include "workloads/workload.hh"
 
 using namespace gpusimpow;
 
 namespace {
 
+/** Top-level mode: the classic tool, or a service subcommand. */
+enum class Mode { tool, serve, submit, stop_server };
+
 struct Options
 {
+    Mode mode = Mode::tool;
+    std::string store_dir;
+    std::string host = "127.0.0.1";
+    unsigned port = 0;
+    bool port_set = false;
     std::string gpu = "gt240";
     std::string config_file;
     std::string workload = "vectoradd";
@@ -117,9 +145,6 @@ struct Options
     std::string metrics_json_file;
 };
 
-/** Engine worker cap: above this, thread overhead only hurts. */
-constexpr unsigned max_jobs = 1024;
-
 void
 usage()
 {
@@ -135,14 +160,32 @@ usage()
         "                 [--sweep] [--jobs N] [--no-memo]\n"
         "                 [--nodes N,M] [--vf V[:F],...]\n"
         "                 [--progress] [--trace-out FILE]\n"
-        "                 [--metrics-json FILE]\n");
+        "                 [--metrics-json FILE] [--store DIR]\n"
+        "       gpusimpow serve --store DIR --port N [--jobs N]\n"
+        "       gpusimpow submit [--host H] --port N [sweep flags]\n"
+        "       gpusimpow stop-server [--host H] --port N\n");
 }
 
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
+    int first_flag = 1;
+    if (argc > 1 && argv[1][0] != '-') {
+        std::string sub = argv[1];
+        if (sub == "serve")
+            opt.mode = Mode::serve;
+        else if (sub == "submit")
+            opt.mode = Mode::submit;
+        else if (sub == "stop-server")
+            opt.mode = Mode::stop_server;
+        else {
+            usage();
+            fatal("unknown subcommand '", sub, "'");
+        }
+        first_flag = 2;
+    }
+    for (int i = first_flag; i < argc; ++i) {
         std::string arg = argv[i];
         auto need_value = [&](const char *flag) -> std::string {
             if (i + 1 >= argc)
@@ -212,7 +255,15 @@ parseArgs(int argc, char **argv)
             // 0 means "all hardware threads"; negatives must not wrap
             // into billions of workers.
             opt.jobs = parseUnsigned(need_value("--jobs"), "--jobs", 0,
-                                     max_jobs);
+                                     sim::EngineOptions::max_jobs);
+        } else if (arg == "--store") {
+            opt.store_dir = need_value("--store");
+        } else if (arg == "--port") {
+            opt.port = parseUnsigned(need_value("--port"), "--port", 1,
+                                     65535);
+            opt.port_set = true;
+        } else if (arg == "--host") {
+            opt.host = need_value("--host");
         } else if (arg == "--no-memo") {
             opt.no_memo = true;
         } else if (arg == "--nodes") {
@@ -246,17 +297,6 @@ resolveConfig(const Options &opt)
     if (opt.gpu == "gtx580")
         return GpuConfig::gtx580();
     fatal("unknown GPU preset '", opt.gpu,
-          "' (expected gt240 or gtx580)");
-}
-
-GpuConfig
-resolvePreset(const std::string &name)
-{
-    if (name == "gt240")
-        return GpuConfig::gt240();
-    if (name == "gtx580")
-        return GpuConfig::gtx580();
-    fatal("unknown GPU preset '", name,
           "' (expected gt240 or gtx580)");
 }
 
@@ -400,100 +440,71 @@ applyThermalScalars(const Options &opt, GpuConfig &cfg)
               cfg.thermal.ambient_k, " K)");
 }
 
-int
-runSweep(const Options &opt)
+/** Read a file into a string; fatal() when unreadable. */
+std::string
+readWholeFile(const std::string &path, const char *flag)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open ", flag, " file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Fold the sweep-axis flags into a SweepRequest — the one
+ * flag-to-spec translation, shared verbatim by `--sweep` and the
+ * `submit` client path (which ships the request over the wire
+ * instead of expanding it locally).
+ */
+sim::SweepRequest
+requestFromOptions(const Options &opt)
+{
+    sim::SweepRequest req;
+    req.withGpus(opt.gpu)
+        .withWorkloads(opt.workload)
+        .withNodes(opt.nodes)
+        .withVf(opt.vf)
+        .withCoolings(opt.cooling)
+        .withScale(opt.scale);
+    // Ship file contents, not paths: a submit's server never sees
+    // the client filesystem.
+    if (!opt.config_file.empty())
+        req.withConfigXml(readWholeFile(opt.config_file, "--config"));
+    if (opt.ambient_set)
+        req.withAmbient(opt.ambient_k);
+    if (opt.t_limit_set)
+        req.withTLimit(opt.t_limit_k);
+    if (opt.throttle)
+        req.withThrottle(true);
+    return req;
+}
+
+/** The sweep/submit modes share one set of flag incompatibilities. */
+void
+checkSweepFlagDeps(const Options &opt, const char *mode)
 {
     // Per-kernel outputs make no sense across a whole sweep; reject
     // the combination instead of silently ignoring the flag.
     if (!opt.trace_file.empty())
-        fatal("--trace is not supported with --sweep");
+        fatal("--trace is not supported with ", mode);
     if (opt.sample_us_set)
-        fatal("--sample-us is not supported with --sweep");
+        fatal("--sample-us is not supported with ", mode);
     if (opt.stats)
-        fatal("--stats is not supported with --sweep");
+        fatal("--stats is not supported with ", mode);
     if (opt.static_only)
-        fatal("--static-only is not supported with --sweep");
+        fatal("--static-only is not supported with ", mode);
     if (opt.dump_config)
-        fatal("--dump-config is not supported with --sweep");
+        fatal("--dump-config is not supported with ", mode);
     if (opt.vdd_scale_set || opt.freq_scale_set)
         fatal("--vdd-scale/--freq-scale apply to single runs; use "
               "--vf V[:F],... to sweep operating points");
+}
 
-    sim::SweepSpec spec;
-    // Stray commas ("a,b," or "a,,b") produce empty entries; drop
-    // them here rather than resolving them as names mid-sweep.
-    auto non_empty = [](const std::string &list) {
-        std::vector<std::string> out;
-        for (const std::string &entry : split(list, ','))
-            if (!entry.empty())
-                out.push_back(entry);
-        return out;
-    };
-    if (!opt.config_file.empty()) {
-        spec.configs.push_back(GpuConfig::fromXmlFile(opt.config_file));
-    } else {
-        for (const std::string &name : non_empty(opt.gpu))
-            spec.configs.push_back(resolvePreset(name));
-    }
-    if (opt.workload == "all") {
-        spec.workloads = workloads::listWorkloadNames();
-    } else {
-        spec.workloads = non_empty(opt.workload);
-    }
-    if (!opt.nodes.empty())
-        for (const std::string &node : non_empty(opt.nodes))
-            spec.tech_nodes.push_back(
-                parseUnsigned(node, "--nodes", tech::min_node_nm,
-                              tech::max_node_nm));
-    if (!opt.vf.empty())
-        spec.operating_points = OperatingPoint::parseList(opt.vf);
-    checkThermalFlagDeps(opt);
-    if (!opt.cooling.empty()) {
-        spec.coolings = non_empty(opt.cooling);
-        // Reject unknown presets before any scenario runs.
-        for (const std::string &name : spec.coolings) {
-            ThermalConfig probe;
-            probe.applyCooling(name);
-        }
-        for (GpuConfig &cfg : spec.configs)
-            applyThermalScalars(opt, cfg);
-    }
-    spec.scale = opt.scale;
-
-    // An empty axis would "pass" with zero scenarios; treat it as the
-    // user error it is.
-    if (spec.configs.empty())
-        fatal("--sweep: no GPU configurations given (--gpu '",
-              opt.gpu, "')");
-    if (spec.workloads.empty())
-        fatal("--sweep: no workloads given (--workload '",
-              opt.workload, "')");
-    if (!opt.nodes.empty() && spec.tech_nodes.empty())
-        fatal("--sweep: no process nodes given (--nodes '", opt.nodes,
-              "')");
-    if (!opt.vf.empty() && spec.operating_points.empty())
-        fatal("--sweep: no operating points given (--vf '", opt.vf,
-              "')");
-    if (!opt.cooling.empty() && spec.coolings.empty())
-        fatal("--sweep: no cooling presets given (--cooling '",
-              opt.cooling, "')");
-
-    ObsWriter obs_writer(opt);
-
-    sim::EngineOptions eopt;
-    eopt.jobs = opt.jobs;
-    eopt.memoize = !opt.no_memo;
-    // ProgressPrinter outlives engine.run(); the engine only calls
-    // the hook while workers are draining inside run().
-    ProgressPrinter printer;
-    if (opt.progress)
-        eopt.progress = [&printer](const sim::ScenarioResult &r,
-                                   std::size_t done,
-                                   std::size_t total) {
-            printer(r, done, total);
-        };
-    sim::SimulationEngine engine(eopt);
-
+void
+printSweepHeader(const sim::SweepSpec &spec, unsigned workers)
+{
     std::printf("sweep: %zu configs x %zu workloads",
                 spec.configs.size(), spec.workloads.size());
     if (!spec.tech_nodes.empty())
@@ -504,9 +515,42 @@ runSweep(const Options &opt)
     if (!spec.coolings.empty())
         std::printf(" x %zu coolings", spec.coolings.size());
     std::printf(" = %zu scenarios on %u worker(s)\n\n", spec.size(),
-                engine.jobs());
+                workers);
+}
 
-    sim::SweepResult result = engine.run(spec);
+int
+runSweep(const Options &opt)
+{
+    checkSweepFlagDeps(opt, "--sweep");
+
+    sim::SweepRequest request = requestFromOptions(opt);
+    sim::SweepSpec spec = request.toSpec();
+
+    ObsWriter obs_writer(opt);
+
+    sim::EngineOptions eopt =
+        sim::EngineOptions().withJobs(opt.jobs).withMemoize(
+            !opt.no_memo);
+    // ProgressPrinter outlives the run; the engine only calls the
+    // hook while workers are draining inside it.
+    ProgressPrinter printer;
+    std::function<void(const sim::ScenarioResult &, std::size_t,
+                       std::size_t)>
+        on_result;
+    if (opt.progress)
+        on_result = [&printer](const sim::ScenarioResult &r,
+                               std::size_t done, std::size_t total) {
+            printer(r, done, total);
+        };
+
+    store::StoreHandle store_handle;
+    if (!opt.store_dir.empty())
+        store_handle = store::openStore(opt.store_dir);
+    sim::SweepSession session(eopt, store_handle);
+
+    printSweepHeader(spec, session.jobs());
+
+    sim::SweepResult result = session.submit(spec, on_result);
     // Stats go to stderr so a memoized table diffs clean against a
     // --no-memo one (the CI smoke check relies on that). The numbers
     // come from the run's telemetry — the same values --metrics-json
@@ -526,13 +570,108 @@ runSweep(const Options &opt)
 }
 
 int
+runServe(const Options &opt)
+{
+    if (!opt.port_set)
+        fatal("serve requires --port");
+    if (opt.store_dir.empty())
+        fatal("serve requires --store (a server without persistence "
+              "would forget every capture on exit)");
+    if (opt.no_memo)
+        fatal("--no-memo is not supported with serve; the store can "
+              "only feed the memoized replay path");
+    checkSweepFlagDeps(opt, "serve");
+    if (opt.progress)
+        fatal("--progress applies to client runs, not serve");
+
+    // The ObsWriter flushes --trace-out/--metrics-json when serve
+    // returns (after a stop-server drain) — how the CI smoke job
+    // gets a validated server-side trace.
+    ObsWriter obs_writer(opt);
+
+    auto session = std::make_shared<sim::SweepSession>(
+        sim::EngineOptions().withJobs(opt.jobs),
+        store::openStore(opt.store_dir));
+    service::SweepServer server(session,
+                                static_cast<uint16_t>(opt.port));
+    std::printf("serving sweeps on 127.0.0.1:%u (store %s, %u "
+                "worker(s) per job)\n",
+                server.port(), opt.store_dir.c_str(),
+                session->jobs());
+    std::fflush(stdout);
+    server.run();
+    std::printf("server drained, store %s has %zu entries\n",
+                opt.store_dir.c_str(),
+                session->storeHandle()->size());
+    return 0;
+}
+
+int
+runSubmit(const Options &opt)
+{
+    if (!opt.port_set)
+        fatal("submit requires --port");
+    checkSweepFlagDeps(opt, "submit");
+    if (opt.jobs != 0)
+        fatal("--jobs is chosen by the server; it does not apply to "
+              "submit");
+    if (opt.no_memo)
+        fatal("--no-memo does not apply to submit (memoization "
+              "policy is the server's)");
+    if (!opt.store_dir.empty())
+        fatal("--store does not apply to submit (the store lives "
+              "with the server)");
+
+    sim::SweepRequest request = requestFromOptions(opt);
+
+    ObsWriter obs_writer(opt);
+    service::SweepClient client(opt.host,
+                                static_cast<uint16_t>(opt.port));
+    service::SweepClient::JobResult job = client.submitJob(
+        request, [&](const std::string &row) {
+            if (opt.progress)
+                std::fprintf(stderr, "progress: %s\n", row.c_str());
+        });
+    if (!job.ok)
+        fatal("submit: ", job.error);
+
+    // The metrics document is the server's telemetry for this job,
+    // verbatim — so tools/check_trace.py asserts the same
+    // engine/store counters a local --sweep would dump.
+    obs_writer.setMetricsDocument(job.metrics_json);
+    std::fputs(job.table.c_str(), stdout);
+    return 0;
+}
+
+int
+runStopServer(const Options &opt)
+{
+    if (!opt.port_set)
+        fatal("stop-server requires --port");
+    service::SweepClient client(opt.host,
+                                static_cast<uint16_t>(opt.port));
+    if (!client.shutdownServer())
+        fatal("stop-server: no acknowledgement from ", opt.host, ":",
+              opt.port);
+    std::printf("server at %s:%u is draining\n", opt.host.c_str(),
+                opt.port);
+    return 0;
+}
+
+int
 runTool(const Options &opt)
 {
+    if (opt.mode == Mode::serve)
+        return runServe(opt);
+    if (opt.mode == Mode::submit)
+        return runSubmit(opt);
+    if (opt.mode == Mode::stop_server)
+        return runStopServer(opt);
     if (opt.sweep)
         return runSweep(opt);
 
-    // Symmetric to runSweep's checks: sweep-only flags are rejected,
-    // not silently ignored, outside --sweep.
+    // Symmetric to runSweep's checks: sweep/service-only flags are
+    // rejected, not silently ignored, outside --sweep.
     if (opt.jobs != 0)
         fatal("--jobs requires --sweep");
     if (opt.no_memo)
@@ -544,6 +683,11 @@ runTool(const Options &opt)
               "for a single run");
     if (opt.progress)
         fatal("--progress requires --sweep");
+    if (!opt.store_dir.empty())
+        fatal("--store requires --sweep (or the serve subcommand)");
+    if (opt.port_set)
+        fatal("--port applies to the serve/submit/stop-server "
+              "subcommands");
 
     // Single runs observe too: spans from the simulator layers and a
     // plain registry dump (no sweep telemetry to report).

@@ -1,5 +1,6 @@
 #include "sim/snapshot.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -109,6 +110,37 @@ parseKernel(std::istream &in)
     return k;
 }
 
+/** Everything after the magic/version check; split out so parse()
+ *  can annotate any fatal() with the stream position. */
+ActivitySnapshot
+parseBody(std::istream &in)
+{
+    ActivitySnapshot snap;
+    expectToken(in, "workload");
+    snap.workload = readLabelLine(in);
+    expectToken(in, "scale");
+    snap.scale = readU32Token(in, "scale");
+    expectToken(in, "with_trace");
+    snap.with_trace = readFlagToken(in, "with_trace flag");
+    expectToken(in, "sample_interval_s");
+    snap.sample_interval_s =
+        readTimeToken(in, "sample_interval_s");
+    // An untraced snapshot legitimately carries no sampling period,
+    // but a traced one sampled at 0 could never have produced its
+    // samples — reject the contradiction.
+    if (snap.with_trace && snap.sample_interval_s <= 0.0)
+        fatal("malformed record: traced snapshot requires "
+              "sample_interval_s > 0, got ", snap.sample_interval_s);
+    expectToken(in, "verified");
+    snap.verified = readFlagToken(in, "verified flag");
+    expectToken(in, "kernels");
+    uint64_t n_kernels = readCount(in, "kernel count");
+    snap.kernels.reserve(n_kernels);
+    for (uint64_t i = 0; i < n_kernels; ++i)
+        snap.kernels.push_back(parseKernel(in));
+    return snap;
+}
+
 } // namespace
 
 std::string
@@ -134,40 +166,40 @@ ActivitySnapshot::parse(const std::string &text)
 {
     GSP_TRACE_SPAN("snapshot/parse");
     std::istringstream in(text);
-    expectToken(in, snapshot_magic);
-    std::string version = readToken(in, "snapshot version");
-    // Built with += rather than operator+ to sidestep gcc 12's
-    // spurious -Wrestrict on the inlined concatenation (PR105329).
-    std::string expected = "v";
-    expected += std::to_string(snapshot_version);
-    if (version != expected)
-        fatal("unsupported snapshot version '", version,
-              "' (this build reads ", expected, ")");
-
-    ActivitySnapshot snap;
-    expectToken(in, "workload");
-    snap.workload = readLabelLine(in);
-    expectToken(in, "scale");
-    snap.scale = readU32Token(in, "scale");
-    expectToken(in, "with_trace");
-    snap.with_trace = readFlagToken(in, "with_trace flag");
-    expectToken(in, "sample_interval_s");
-    snap.sample_interval_s =
-        readTimeToken(in, "sample_interval_s");
-    // An untraced snapshot legitimately carries no sampling period,
-    // but a traced one sampled at 0 could never have produced its
-    // samples — reject the contradiction.
-    if (snap.with_trace && snap.sample_interval_s <= 0.0)
-        fatal("malformed record: traced snapshot requires "
-              "sample_interval_s > 0, got ", snap.sample_interval_s);
-    expectToken(in, "verified");
-    snap.verified = readFlagToken(in, "verified flag");
-    expectToken(in, "kernels");
-    uint64_t n_kernels = readCount(in, "kernel count");
-    snap.kernels.reserve(n_kernels);
-    for (uint64_t i = 0; i < n_kernels; ++i)
-        snap.kernels.push_back(parseKernel(in));
-    return snap;
+    try {
+        expectToken(in, snapshot_magic);
+        std::string version = readToken(in, "snapshot version");
+        // Built with += rather than operator+ to sidestep gcc 12's
+        // spurious -Wrestrict on the inlined concatenation
+        // (PR105329).
+        std::string expected = "v";
+        expected += std::to_string(snapshot_version);
+        if (version != expected)
+            fatal("unsupported snapshot version '", version,
+                  "' (this build reads ", expected, ")");
+        return parseBody(in);
+    } catch (const FatalError &e) {
+        // Re-throw with the stream position, so a corrupt store
+        // entry (or hand-edited snapshot) is diagnosable: a failed
+        // token read leaves the stream consumed up to the offending
+        // token, which maps to a line/column in the text.
+        in.clear(); // a failed extraction poisons tellg()
+        std::streamoff off = in.tellg();
+        std::size_t offset =
+            off < 0 ? text.size()
+                    : std::min(static_cast<std::size_t>(off),
+                               text.size());
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < offset; ++i)
+            if (text[i] == '\n')
+                ++line;
+        std::size_t line_start =
+            offset == 0 ? 0 : text.rfind('\n', offset - 1);
+        line_start =
+            line_start == std::string::npos ? 0 : line_start + 1;
+        fatal(e.what(), " (snapshot text, line ", line, ", column ",
+              offset - line_start + 1, ", byte offset ", offset, ")");
+    }
 }
 
 } // namespace gpusimpow

@@ -1,9 +1,10 @@
 /**
  * @file
- * Tests of the batch simulation engine: sweep expansion order,
- * determinism across worker counts, the empty-sweep edge case,
- * exception propagation out of worker threads, and the thread-safety
- * of the SweepResult table.
+ * Tests of the sweep stack behind SweepSession — the public entry
+ * point — plus the low-level SimulationEngine contracts it builds on:
+ * sweep expansion order, determinism across worker counts, the
+ * empty-sweep edge case, exception propagation out of worker threads,
+ * option validation, and the thread-safety of the SweepResult table.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "sim/engine.hh"
+#include "sim/session.hh"
 #include "sim/sweep.hh"
 
 using namespace gpusimpow;
@@ -23,6 +25,7 @@ using sim::Scenario;
 using sim::ScenarioResult;
 using sim::SimulationEngine;
 using sim::SweepResult;
+using sim::SweepSession;
 using sim::SweepSpec;
 
 namespace {
@@ -40,12 +43,12 @@ smallSweep()
     return spec;
 }
 
+/** Sweeps go through the public entry point, as every front end
+ *  (CLI, service) does. */
 SweepResult
 runWithJobs(const SweepSpec &spec, unsigned jobs)
 {
-    EngineOptions opt;
-    opt.jobs = jobs;
-    return SimulationEngine(opt).run(spec);
+    return SweepSession(EngineOptions().withJobs(jobs)).submit(spec);
 }
 
 } // namespace
@@ -188,6 +191,43 @@ TEST(Engine, JobsZeroResolvesToHardwareConcurrency)
 
     opt.jobs = 3;
     EXPECT_EQ(SimulationEngine(opt).jobs(), 3u);
+    // The session reports the same resolution it hands the engine.
+    EXPECT_EQ(SweepSession(EngineOptions().withJobs(3)).jobs(), 3u);
+    EXPECT_GE(SweepSession(EngineOptions().withJobs(0)).jobs(), 1u);
+}
+
+TEST(Engine, OptionsValidateRejectsIncoherentCombinations)
+{
+    EXPECT_NO_THROW(EngineOptions().validate());
+
+    EngineOptions too_many;
+    too_many.jobs = EngineOptions::max_jobs + 1;
+    EXPECT_THROW(too_many.validate(), FatalError);
+    EXPECT_THROW(SimulationEngine{too_many}, FatalError);
+
+    EngineOptions bad_interval = EngineOptions().withTrace(true);
+    bad_interval.sample_interval_s = 0.0;
+    EXPECT_THROW(bad_interval.validate(), FatalError);
+
+    // The snapshot hooks feed on memoization; without it they could
+    // never fire, so the combination is rejected, not ignored.
+    EngineOptions hooked = EngineOptions().withMemoize(false);
+    hooked.snapshot_source = [](const Scenario &) { return nullptr; };
+    EXPECT_THROW(hooked.validate(), FatalError);
+    EXPECT_THROW(SimulationEngine{hooked}, FatalError);
+
+    // Named setters chain and leave the result coherent.
+    EngineOptions chained = EngineOptions()
+                                .withJobs(4)
+                                .withReuseSimulators(false)
+                                .withBatchReplay(false)
+                                .withTrace(true, 1e-5);
+    EXPECT_NO_THROW(chained.validate());
+    EXPECT_EQ(chained.jobs, 4u);
+    EXPECT_FALSE(chained.reuse_simulators);
+    EXPECT_FALSE(chained.batch_replay);
+    EXPECT_TRUE(chained.with_trace);
+    EXPECT_EQ(chained.sample_interval_s, 1e-5);
 }
 
 TEST(Engine, ProgressCallbackSeesEveryScenarioExactlyOnce)
@@ -198,10 +238,9 @@ TEST(Engine, ProgressCallbackSeesEveryScenarioExactlyOnce)
 
     std::vector<int> seen(spec.size(), 0);
     std::size_t max_done = 0;
-    EngineOptions opt;
-    opt.jobs = 4;
-    opt.progress = [&](const ScenarioResult &r, std::size_t done,
-                       std::size_t total) {
+    SweepSession session(EngineOptions().withJobs(4));
+    session.submit(spec, [&](const ScenarioResult &r,
+                             std::size_t done, std::size_t total) {
         // The engine serializes progress callbacks, so plain writes
         // are safe here.
         ASSERT_LT(r.scenario.index, seen.size());
@@ -211,8 +250,7 @@ TEST(Engine, ProgressCallbackSeesEveryScenarioExactlyOnce)
         EXPECT_LE(done, total);
         if (done > max_done)
             max_done = done;
-    };
-    SimulationEngine(opt).run(spec);
+    });
     for (int count : seen)
         EXPECT_EQ(count, 1);
     EXPECT_EQ(max_done, seen.size());

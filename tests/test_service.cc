@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests of the sweep service: request serialization round-trip, an
+ * in-process server/client job round-trip on an ephemeral port,
+ * repeat queries answered from the warm store with zero captures and
+ * a byte-identical table, concurrent clients deduplicated onto one
+ * capture, and the error/shutdown paths of the wire protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "sim/engine.hh"
+#include "sim/request.hh"
+#include "sim/session.hh"
+#include "store/store.hh"
+
+using namespace gpusimpow;
+using service::SweepClient;
+using service::SweepServer;
+using sim::EngineOptions;
+using sim::SweepRequest;
+using sim::SweepSession;
+
+namespace {
+
+/** A unique store directory per test, removed on scope exit. */
+struct ScopedDir
+{
+    std::filesystem::path path;
+
+    explicit ScopedDir(const std::string &tag)
+    {
+        static std::size_t counter = 0;
+        path = std::filesystem::temp_directory_path() /
+               strformat("gsp-svc-%s-%zu", tag.c_str(), counter++);
+        std::filesystem::remove_all(path);
+    }
+
+    ~ScopedDir() { std::filesystem::remove_all(path); }
+};
+
+/** A server on an ephemeral loopback port, run()ning on its own
+ *  thread until the fixture scope ends. */
+struct ScopedServer
+{
+    std::shared_ptr<SweepSession> session;
+    SweepServer server;
+    std::thread runner;
+
+    explicit ScopedServer(std::shared_ptr<SweepSession> s)
+        : session(std::move(s)), server(session, 0),
+          runner([this] { server.run(); })
+    {
+    }
+
+    ~ScopedServer()
+    {
+        server.stop();
+        runner.join();
+    }
+
+    uint16_t port() const { return server.port(); }
+};
+
+/** One timing-unique workload, two power-only variants. */
+SweepRequest
+smallRequest()
+{
+    return SweepRequest()
+        .withWorkloads("vectoradd")
+        .withNodes("40,28");
+}
+
+} // namespace
+
+TEST(Request, SerializeParseRoundTrip)
+{
+    SweepRequest request = SweepRequest()
+                               .withGpus("gtx580")
+                               .withWorkloads("vectoradd,matmul")
+                               .withNodes("40,28")
+                               .withVf("0.9:0.8,1:1")
+                               .withCoolings("stock,liquid")
+                               .withScale(2)
+                               .withVerify(false)
+                               .withAmbient(300.0)
+                               .withTLimit(360.0)
+                               .withThrottle(true);
+    request.config_xml = "<gpu>\n  <clusters>2</clusters>\n</gpu>\n";
+
+    SweepRequest parsed = SweepRequest::parse(request.serialize());
+    EXPECT_EQ(parsed.gpus, request.gpus);
+    EXPECT_EQ(parsed.config_xml, request.config_xml);
+    EXPECT_EQ(parsed.workloads, request.workloads);
+    EXPECT_EQ(parsed.nodes, request.nodes);
+    EXPECT_EQ(parsed.vf, request.vf);
+    EXPECT_EQ(parsed.coolings, request.coolings);
+    EXPECT_EQ(parsed.scale, request.scale);
+    EXPECT_EQ(parsed.verify, request.verify);
+    EXPECT_TRUE(parsed.ambient_set);
+    EXPECT_EQ(parsed.ambient_k, request.ambient_k);
+    EXPECT_TRUE(parsed.t_limit_set);
+    EXPECT_EQ(parsed.t_limit_k, request.t_limit_k);
+    EXPECT_EQ(parsed.throttle, request.throttle);
+    // The round trip is exact, so re-serialization is byte-stable.
+    EXPECT_EQ(parsed.serialize(), request.serialize());
+}
+
+TEST(Request, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(SweepRequest::parse("not a request"), FatalError);
+    EXPECT_THROW(SweepRequest::parse(""), FatalError);
+    // A truncated request (no end marker) must not parse.
+    std::string text = SweepRequest().serialize();
+    EXPECT_THROW(SweepRequest::parse(text.substr(0, text.size() / 2)),
+                 FatalError);
+}
+
+TEST(Request, ToSpecRejectsIncoherentAxes)
+{
+    EXPECT_THROW(SweepRequest().withWorkloads("").toSpec(),
+                 FatalError);
+    EXPECT_THROW(SweepRequest().withGpus("no-such-gpu").toSpec(),
+                 FatalError);
+    // Thermal scalars require a cooling axis to act on.
+    EXPECT_THROW(SweepRequest().withAmbient(300.0).toSpec(),
+                 FatalError);
+    EXPECT_THROW(SweepRequest()
+                     .withCoolings("stock")
+                     .withAmbient(300.0)
+                     .withTLimit(290.0) // below ambient
+                     .toSpec(),
+                 FatalError);
+}
+
+TEST(Service, JobRoundTripStreamsRowsAndTable)
+{
+    ScopedServer server(
+        std::make_shared<SweepSession>(EngineOptions().withJobs(2)));
+
+    std::vector<std::string> rows;
+    SweepClient client("127.0.0.1", server.port());
+    SweepClient::JobResult job = client.submitJob(
+        smallRequest(),
+        [&](const std::string &row) { rows.push_back(row); });
+
+    ASSERT_TRUE(job.ok) << job.error;
+    EXPECT_EQ(job.rows, 2u);
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_NE(job.table.find("vectoradd"), std::string::npos);
+    EXPECT_NE(job.metrics_json.find("gpusimpow-metrics-1"),
+              std::string::npos);
+    // The served table matches a local run of the same request.
+    SweepSession local(EngineOptions().withJobs(2));
+    EXPECT_EQ(job.table,
+              local.submit(smallRequest().toSpec()).formatTable());
+}
+
+TEST(Service, RepeatQueryIsServedFromWarmStoreByteIdentically)
+{
+    ScopedDir dir("warm");
+    ScopedServer server(std::make_shared<SweepSession>(
+        EngineOptions().withJobs(2), store::openStore(dir.path)));
+
+    SweepClient first("127.0.0.1", server.port());
+    SweepClient::JobResult cold = first.submitJob(smallRequest());
+    ASSERT_TRUE(cold.ok) << cold.error;
+
+    SweepClient second("127.0.0.1", server.port());
+    SweepClient::JobResult warm = second.submitJob(smallRequest());
+    ASSERT_TRUE(warm.ok) << warm.error;
+
+    EXPECT_EQ(warm.table, cold.table);
+    // The telemetry document proves the repeat ran capture-free.
+    EXPECT_NE(warm.metrics_json.find("\"captured\":0"),
+              std::string::npos)
+        << warm.metrics_json;
+    EXPECT_EQ(server.session->storeHandle()->size(), 1u);
+}
+
+TEST(Service, ConcurrentClientsShareOneCapture)
+{
+    ScopedDir dir("dedupe");
+    ScopedServer server(std::make_shared<SweepSession>(
+        EngineOptions().withJobs(2), store::openStore(dir.path)));
+
+    SweepClient::JobResult jobs[2];
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c)
+        clients.emplace_back([&, c] {
+            SweepClient client("127.0.0.1", server.port());
+            jobs[c] = client.submitJob(smallRequest());
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    ASSERT_TRUE(jobs[0].ok) << jobs[0].error;
+    ASSERT_TRUE(jobs[1].ok) << jobs[1].error;
+    EXPECT_EQ(jobs[0].table, jobs[1].table);
+    // One snapshot key in the request, so exactly one entry — and
+    // one capture — no matter how the clients interleaved.
+    EXPECT_EQ(server.session->storeHandle()->size(), 1u);
+}
+
+TEST(Service, BadRequestGetsAnErrorFrame)
+{
+    ScopedServer server(
+        std::make_shared<SweepSession>(EngineOptions().withJobs(1)));
+
+    SweepClient client("127.0.0.1", server.port());
+    SweepClient::JobResult job =
+        client.submitJob(smallRequest().withWorkloads("no-such"));
+    EXPECT_FALSE(job.ok);
+    EXPECT_NE(job.error.find("no-such"), std::string::npos)
+        << job.error;
+
+    // The connection survives an error; the same client can submit
+    // a good job afterwards.
+    SweepClient::JobResult retry = client.submitJob(smallRequest());
+    EXPECT_TRUE(retry.ok) << retry.error;
+}
+
+TEST(Service, ShutdownIsAcknowledgedAndStopsTheServer)
+{
+    auto session =
+        std::make_shared<SweepSession>(EngineOptions().withJobs(1));
+    SweepServer server(session, 0);
+    std::thread runner([&] { server.run(); });
+
+    SweepClient client("127.0.0.1", server.port());
+    EXPECT_TRUE(client.shutdownServer());
+    runner.join(); // run() returns once the stop flag is set
+}

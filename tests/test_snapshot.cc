@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "sim/engine.hh"
 #include "sim/simulator.hh"
 #include "sim/snapshot.hh"
@@ -371,6 +372,38 @@ TEST(Snapshot, ParserRejectsInvalidSampleInterval)
                  FatalError);
     EXPECT_NO_THROW(ActivitySnapshot::parse(
         snapshotHeader("1", "0", "0x0p+0")));
+}
+
+TEST(Snapshot, ParseErrorsReportTextPosition)
+{
+    // A bad token deep in the text must be located for the reader: a
+    // corrupt store entry or hand-edited snapshot is only diagnosable
+    // if the error names where the parse stopped.
+    try {
+        ActivitySnapshot::parse(snapshotHeader("1", "2", "0x0p+0"));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        // The bad with_trace flag sits on line 4 of the header.
+        EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("column "), std::string::npos) << msg;
+        EXPECT_NE(msg.find("byte offset "), std::string::npos) << msg;
+    }
+
+    // Truncated input: the position points at the end of the text.
+    const std::string truncated =
+        "gpusimpow-activity-snapshot v1\nworkload vectoradd\n";
+    try {
+        ActivitySnapshot::parse(truncated);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("line "), std::string::npos) << msg;
+        EXPECT_NE(msg.find(strformat("byte offset %zu",
+                                     truncated.size())),
+                  std::string::npos)
+            << msg;
+    }
 }
 
 TEST(Snapshot, ParserRejectsInvalidSamplesAndTimes)
