@@ -168,6 +168,9 @@ def self_test():
     missing = {"benchmarks": [{"name": "bench/y", "metric": 11.0}]}
     malformed_baseline = {
         "metrics": {"bench/x:metric": {"higher_is_better": True}}}
+    nonnumeric_baseline = {
+        "metrics": {"bench/x:metric": {"baseline": "fast",
+                                       "higher_is_better": True}}}
     # The batched-replay gate as committed: the speedup ratio carries
     # the acceptance floor, the absolute throughput is slack. Both
     # metrics come from one bench_power_eval JSON.
@@ -198,6 +201,8 @@ def self_test():
                    good_baseline, missing, 1)
     ok &= run_case("baseline entry without 'baseline' value",
                    malformed_baseline, passing, 2)
+    ok &= run_case("baseline entry with a non-numeric 'baseline'",
+                   nonnumeric_baseline, passing, 2)
     ok &= run_case("empty baseline", {"metrics": {}}, passing, 2)
     ok &= run_case("batched replay gate passes",
                    batched_baseline, batched_ok, 0)
@@ -206,7 +211,7 @@ def self_test():
     if not ok:
         print("self-test FAILED", file=sys.stderr)
         return 1
-    print("self-test passed (7 scenarios)", file=sys.stderr)
+    print("self-test passed (8 scenarios)", file=sys.stderr)
     return 0
 
 

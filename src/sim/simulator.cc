@@ -45,6 +45,26 @@ ThermalResult::hottestBlock() const
     return best < block_names.size() ? block_names[best] : "";
 }
 
+/**
+ * Self-batching state of the traced thermal path: when no engine
+ * group supplies precomputed rows, the simulator batches its own
+ * compiled model over the snapshot's intervals — one SIMD pass over
+ * the temperature-independent dynamic/DRAM/per-block rows — so the
+ * sequential thermal march only rescales per-block leakage.
+ */
+struct Simulator::SelfBatch
+{
+    power::BatchedPowerEvaluator eval;
+    power::BatchedPowerEvaluator::Workspace ws;
+    std::vector<power::BatchedKernelPower> out;
+    std::vector<const perf::ChipActivity *> acts;
+
+    explicit SelfBatch(const power::CompiledPowerModel &cpm)
+        : eval({&cpm})
+    {
+    }
+};
+
 Simulator::Simulator(const GpuConfig &cfg)
     : _cfg(cfg), _nominal_freq_scale(cfg.clocks.freq_scale)
 {
@@ -52,6 +72,8 @@ Simulator::Simulator(const GpuConfig &cfg)
     _gpu = std::make_unique<perf::Gpu>(_cfg);
     _power = std::make_unique<power::GpuPowerModel>(_cfg);
 }
+
+Simulator::~Simulator() = default;
 
 void
 Simulator::recycle()
@@ -64,6 +86,7 @@ Simulator::recycle()
     if (_cfg.clocks.freq_scale != _nominal_freq_scale)
         applyFreqScale(_nominal_freq_scale);
     _thermal_state = thermal::ThermalNetwork::State{};
+    _steady_warm.clear();
 }
 
 void
@@ -85,6 +108,22 @@ Simulator::applyFreqScale(double freq_scale)
     // rebuild it at the clamped clock (the die geometry, and with it
     // the thermal network, is frequency-invariant).
     _power = std::make_unique<power::GpuPowerModel>(_cfg);
+    // The self-batch evaluator stacked the old model's coefficients.
+    _self_batch.reset();
+}
+
+const power::BatchedKernelPower &
+Simulator::selfBatchRows(const KernelSnapshot &snap)
+{
+    if (!_self_batch)
+        _self_batch = std::make_unique<SelfBatch>(_power->compiled());
+    SelfBatch &sb = *_self_batch;
+    sb.acts.clear();
+    sb.acts.reserve(snap.samples.size());
+    for (const ActivitySample &a : snap.samples)
+        sb.acts.push_back(&a.delta);
+    sb.eval.evaluate(sb.acts, /*want_blocks=*/true, sb.ws, sb.out);
+    return sb.out.front();
 }
 
 KernelRun
@@ -172,6 +211,13 @@ Simulator::evaluateSamples(const KernelSnapshot &snap,
         // nominal-temperature statics, so the temperature-dependent
         // leakage scale stays a per-interval scalar either way.
         ensureThermal();
+        // No precomputed rows from an engine group? Batch them
+        // ourselves: all intervals' temperature-independent rows in
+        // one pass, so the loop below never re-runs the scalar
+        // per-interval evaluation. Bit-identical by the batched
+        // evaluator's contract.
+        if (!batched && !snap.samples.empty())
+            batched = &selfBatchRows(snap);
         if (batched) {
             GSP_ASSERT(snap.samples.empty() ||
                            (batched->n_blocks == _blocks.size() &&
@@ -343,12 +389,15 @@ Simulator::finishThermal(KernelRun &run,
 
 thermal::SteadyResult
 Simulator::solveSteady(const std::vector<power::BlockPower> &bp,
-                       double freq_ratio) const
+                       double freq_ratio)
 {
     // Dynamic power follows the clock to first order; subthreshold
     // leakage follows the block temperature the solve is converging
     // on; gate leakage and the external DRAM follow neither.
-    return _network->solveSteady(
+    // Consecutive solves target nearby operating points (governor
+    // bisect probes, kernels of one scenario), so each one starts
+    // from the last converged solution instead of ambient.
+    thermal::SteadyResult steady = _network->solveSteady(
         [&](const std::vector<double> &temps) {
             std::vector<double> powers(bp.size(), 0.0);
             for (std::size_t i = 0; i < bp.size(); ++i)
@@ -357,7 +406,11 @@ Simulator::solveSteady(const std::vector<power::BlockPower> &bp,
                     bp[i].sub_leak_w * _power->subLeakScaleAt(temps[i]) +
                     bp[i].fixed_w;
             return powers;
-        });
+        },
+        _steady_warm.empty() ? nullptr : &_steady_warm);
+    if (steady.converged)
+        _steady_warm = steady.temps_k;
+    return steady;
 }
 
 KernelRun

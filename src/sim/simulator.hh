@@ -121,6 +121,7 @@ class Simulator
 {
   public:
     explicit Simulator(const GpuConfig &cfg);
+    ~Simulator();
 
     /** The performance-simulated GPU (memory setup, launches). */
     perf::Gpu &gpu() { return *_gpu; }
@@ -219,9 +220,24 @@ class Simulator
     power::CompiledPowerModel::Eval _eval;
     /** Per-block power scratch of the transient thermal march. */
     std::vector<double> _block_powers;
+    /** Last converged steady-state block temperatures: the warm
+     *  start for the next solveSteady. Scoped to one scenario —
+     *  recycle() clears it with the rest of the thermal state, so
+     *  simulator reuse stays deterministic. */
+    std::vector<double> _steady_warm;
+    /** Self-batching state of the traced thermal path: a
+     *  single-variant BatchedPowerEvaluator over this simulator's
+     *  compiled model plus its workspace/output buffers, built
+     *  lazily and invalidated when the power model is rebuilt. */
+    struct SelfBatch;
+    std::unique_ptr<SelfBatch> _self_batch;
 
     void ensureThermal();
     void applyFreqScale(double freq_scale);
+    /** Batch-evaluate a snapshot's intervals against this
+     *  simulator's own compiled model (see SelfBatch). */
+    const power::BatchedKernelPower &
+    selfBatchRows(const KernelSnapshot &snap);
     /** Evaluate the per-interval power (and, with thermal on, march
      *  the transient state) over a snapshot's samples, plus the
      *  whole-kernel nominal-temperature report. When batched is
@@ -232,9 +248,11 @@ class Simulator
     KernelRun runOnce(const perf::KernelProgram &prog,
                       const perf::LaunchConfig &launch,
                       bool with_trace, double sample_interval_s);
+    /** Closed-loop steady solve, warm-started from (and, when it
+     *  converges, refreshing) _steady_warm. */
     thermal::SteadyResult
     solveSteady(const std::vector<power::BlockPower> &bp,
-                double freq_ratio) const;
+                double freq_ratio);
     /** Hottest steady-state die-block temperature (DRAM excluded). */
     double dieMax(const thermal::SteadyResult &steady) const;
     /** Shared tail of every thermal kernel: re-evaluate the report at

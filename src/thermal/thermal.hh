@@ -11,8 +11,18 @@
  *  - solveSteady(): fixed-point iteration power -> temperature ->
  *    (tempLeakFactor-scaled) leakage -> power for whole-kernel
  *    reports, with thermal-runaway detection;
- *  - advance(): a transient forward integrator driven by the sampled
- *    power waveform, producing a per-block temperature waveform.
+ *  - advance(): a transient integrator driven by the sampled power
+ *    waveform, producing a per-block temperature waveform.
+ *
+ * The conductance system is constant for the life of a network, so
+ * the constructor factors it once (partial-pivoted LU, performing the
+ * elimination in the exact order the historical one-shot dense solve
+ * used, so every solution stays bit-identical) and every linear solve
+ * afterwards is an O(n^2) substitution. Transients integrate either
+ * with the historical forward-Euler substepping or — the default —
+ * with an exact LTI propagator per distinct time step (the RC network
+ * under piecewise-constant power is linear time-invariant, so
+ * T' = P*T + Q*u is exact for any dt), cached keyed on dt.
  *
  * Temperature becomes a simulated *output* instead of the static
  * config constant, which is what lets leakage-temperature compounding
@@ -24,6 +34,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,12 +103,27 @@ struct SteadyResult
 /**
  * The RC network itself. Node order: die blocks, the dram block, and
  * one lumped heatsink node; ambient is a fixed-temperature boundary.
- * Construction is cheap (a handful of conductances); solving is a
- * dense Gaussian elimination over <= ~20 nodes.
+ * Construction assembles and LU-factors the conductance system (a
+ * handful of conductances, <= ~20 nodes); each solve afterwards is an
+ * O(n^2) substitution against the cached factorization.
+ *
+ * Const methods are safe to call concurrently from multiple threads
+ * (distinct State objects per thread for advance()): the factored
+ * system is immutable after construction and the per-dt propagator
+ * cache is mutex-guarded.
  */
 class ThermalNetwork
 {
   public:
+    /** Transient integration scheme (ThermalConfig::integrator). */
+    enum class Integrator
+    {
+        /** Historical forward-Euler substepping (validation). */
+        euler,
+        /** Exact LTI propagator per distinct dt (default). */
+        exact,
+    };
+
     /**
      * @param blocks die/board decomposition (names + areas)
      * @param tc cooling parameters; tc.r_heatsink_k_per_w <= 0
@@ -110,6 +137,8 @@ class ThermalNetwork
     double ambient() const { return _ambient_k; }
     /** Effective heatsink-to-ambient resistance in use, K/W. */
     double heatsinkResistance() const { return 1.0 / _g_amb.back(); }
+    /** Transient integration scheme in use. */
+    Integrator integrator() const { return _integrator; }
 
     /**
      * Temperatures for one fixed power assignment (no leakage
@@ -121,21 +150,54 @@ class ThermalNetwork
     solveLinear(const std::vector<double> &powers_w) const;
 
     /**
+     * Allocation-free solveLinear() into caller-owned scratch:
+     * nodes_out is resized to size()+1 once and reused afterwards.
+     * Bit-identical to solveLinear() (it is the implementation).
+     */
+    void solveLinearInto(const std::vector<double> &powers_w,
+                         std::vector<double> &nodes_out) const;
+
+    /**
+     * Bit-identity oracle: the historical one-shot path — assemble
+     * the dense system and eliminate it from scratch with partial
+     * pivoting, exactly as every solve did before the factorization
+     * was hoisted to construction. Kept (only) so tests and benches
+     * can prove solveLinear() bit-identical to it and measure the
+     * factored path against it; not a production entry point.
+     */
+    std::vector<double>
+    solveLinearReference(const std::vector<double> &powers_w) const;
+
+    /**
      * Closed-loop steady state: iterate temperature -> power until
      * the hottest block moves < tol_k between iterations.
      * @param power_at callback mapping block temperatures (BlockSet
      *        order) to block powers, W — this is where the caller
      *        applies tempLeakFactor to the leakage share
+     * @param warm_start_k optional block temperatures (BlockSet
+     *        order) to start the fixed-point iteration from — the
+     *        previous solution when the caller solves a sequence of
+     *        nearby operating points (governor bisection, kernels of
+     *        one scenario). Ignored (cold start at ambient) when
+     *        null or of the wrong size; the iteration converges to
+     *        the same fixed point within tolerance either way.
      */
     SteadyResult
     solveSteady(const std::function<std::vector<double>(
-                    const std::vector<double> &)> &power_at) const;
+                    const std::vector<double> &)> &power_at,
+                const std::vector<double> *warm_start_k = nullptr)
+        const;
 
     /** Transient node state: block temperatures plus heatsink, K. */
     struct State
     {
         std::vector<double> temps_k; // blocks then heatsink
         bool initialized = false;
+        /** advance() scratch (next temperatures / propagator input),
+         *  kept here so concurrent advances on distinct States never
+         *  share a buffer and nothing allocates per call. */
+        std::vector<double> scratch;
+        std::vector<double> scratch2;
     };
 
     /** Every node at ambient (cold start). */
@@ -143,15 +205,17 @@ class ThermalNetwork
 
     /**
      * Integrate the network forward by dt_s under constant block
-     * powers, substepping internally for forward-Euler stability.
-     * Spans much longer than the slowest time constant snap to the
-     * fixed-power steady solution instead of wasting substeps.
+     * powers. With the exact integrator this is two cached mat-vecs
+     * regardless of dt; with Euler it substeps internally for
+     * stability. Spans much longer than the slowest time constant
+     * snap to the fixed-power steady solution instead.
      */
     void advance(State &state, const std::vector<double> &powers_w,
                  double dt_s) const;
 
-    /** Largest externally meaningful Euler step, s. */
-    double maxStableDt() const;
+    /** Largest externally meaningful Euler step, s (precomputed at
+     *  construction). */
+    double maxStableDt() const { return _max_stable_dt; }
 
     /** Temperatures above this clamp as diverged (thermal runaway). */
     static constexpr double runaway_cap_k = 500.0;
@@ -167,11 +231,55 @@ class ThermalNetwork
     /** Per-node heat capacitance, J/K. */
     std::vector<double> _c;
 
+    /** Assembled system matrix A (row-major): diag(sum of
+     *  conductances) - offdiagonals, the ambient boundary folded into
+     *  the diagonal. Kept unfactored for the propagator builds. */
+    std::vector<double> _a_sys;
+    /** Packed LU of _a_sys: U on and above the diagonal, the
+     *  elimination multipliers below it (final row order). */
+    std::vector<double> _lu;
+    /** Partial-pivot row chosen at each elimination column. */
+    std::vector<std::size_t> _pivot;
+    /** Hoisted maxStableDt() (the network is immutable). */
+    double _max_stable_dt = 0.0;
+    Integrator _integrator = Integrator::exact;
+
+    /** Discrete exact update for one dt: T' = P*T + Q*u, with u the
+     *  same right-hand side the linear solve uses (block powers plus
+     *  the ambient boundary current). */
+    struct Propagator
+    {
+        double dt_s = 0.0;
+        std::vector<double> p; // n x n
+        std::vector<double> q; // n x n
+    };
+    /** Per-dt propagator cache. Guarded by _prop_mutex: the network
+     *  is logically const while simulator threads advance through
+     *  it, so the lazily built propagators must synchronize. Entries
+     *  are pointer-stable (unique_ptr) so a reference outlives the
+     *  lock. */
+    mutable std::mutex _prop_mutex;
+    mutable std::vector<std::unique_ptr<Propagator>> _propagators;
+
     double conductance(std::size_t a, std::size_t b) const
     {
         return _g[a * _n + b];
     }
     void setConductance(std::size_t a, std::size_t b, double g);
+    /** Assemble _a_sys and factor it into _lu/_pivot (constructor
+     *  tail, once the conductances are final). */
+    void factorize();
+    /** b[i] = powers + ambient boundary current (the shared RHS of
+     *  the linear solve and the exact propagator). */
+    void assembleRhs(const std::vector<double> &powers_w,
+                     std::vector<double> &b) const;
+    const Propagator &propagatorFor(double dt_s) const;
+    void advanceEuler(State &state,
+                      const std::vector<double> &powers_w,
+                      double dt_s) const;
+    void advanceExact(State &state,
+                      const std::vector<double> &powers_w,
+                      double dt_s) const;
 };
 
 /**

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <thread>
 
 #include "common/logging.hh"
 #include "config/gpu_config.hh"
+#include "obs/metrics.hh"
 #include "power/chip_power.hh"
 #include "sim/engine.hh"
 #include "tech/tech.hh"
@@ -719,4 +722,303 @@ TEST(ThermalSweep, ThermalSweepIsDeterministicAcrossJobs)
     // through the engine).
     EXPECT_TRUE(a.at(3).throttled);
     EXPECT_LT(a.at(3).min_freq_scale, 1.0);
+}
+
+// ----------------------------------------------- factored linear solves
+
+TEST(ThermalSolver, FactoredSolveIsBitIdenticalToDenseReference)
+{
+    // The acceptance bar of the factored fast path: every solution
+    // of the cached LU must match the historical from-scratch
+    // elimination bit for bit, across network shapes and power
+    // vectors — EXPECT_EQ, not EXPECT_NEAR.
+    std::vector<std::unique_ptr<thermal::ThermalNetwork>> nets;
+    nets.push_back(std::make_unique<thermal::ThermalNetwork>(
+        tinyBlocks(), tinyCooling()));
+    ThermalConfig decoupled = tinyCooling();
+    decoupled.r_lateral_k_per_w = 1e12;
+    nets.push_back(std::make_unique<thermal::ThermalNetwork>(
+        tinyBlocks(), decoupled));
+    for (GpuConfig cfg : {GpuConfig::gt240(), GpuConfig::gtx580()}) {
+        cfg.thermal.applyCooling("stock");
+        power::GpuPowerModel model(cfg);
+        nets.push_back(std::make_unique<thermal::ThermalNetwork>(
+            model.thermalBlocks(), cfg.thermal));
+    }
+
+    for (const auto &net_ptr : nets) {
+        const thermal::ThermalNetwork &net = *net_ptr;
+        std::size_t n = net.blocks().size();
+        std::vector<std::vector<double>> cases;
+        cases.push_back(std::vector<double>(n, 0.0));
+        cases.push_back(std::vector<double>(n, 17.25));
+        std::vector<double> ramp(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            ramp[i] = 3.7 * static_cast<double>(i) + 0.1;
+        cases.push_back(ramp);
+        for (const std::vector<double> &powers : cases) {
+            std::vector<double> fast = net.solveLinear(powers);
+            std::vector<double> ref = net.solveLinearReference(powers);
+            ASSERT_EQ(fast.size(), ref.size());
+            for (std::size_t i = 0; i < fast.size(); ++i)
+                EXPECT_EQ(fast[i], ref[i]) << "node " << i;
+        }
+    }
+}
+
+TEST(ThermalSolver, SolveLinearIntoReusesCallerScratch)
+{
+    thermal::ThermalNetwork net(tinyBlocks(), tinyCooling());
+    std::vector<double> out;
+    net.solveLinearInto({30.0, 0.0, 4.0}, out);
+    ASSERT_EQ(out.size(), net.blocks().size() + 1);
+    const double *data = out.data();
+    std::vector<double> expect = net.solveLinear({12.0, 8.0, 1.0});
+    net.solveLinearInto({12.0, 8.0, 1.0}, out);
+    // Same buffer, fresh solution.
+    EXPECT_EQ(out.data(), data);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], expect[i]) << "node " << i;
+}
+
+TEST(ThermalSolver, WarmStartConvergesToTheSameFixedPoint)
+{
+    thermal::ThermalNetwork net(tinyBlocks(), tinyCooling());
+    auto power_at = [](const std::vector<double> &temps) {
+        return std::vector<double>{
+            20.0 + 0.05 * (temps[0] - 300.0), 2.0, 3.0};
+    };
+    obs::Counter &warm_ctr = obs::Registry::instance().counter(
+        "thermal/steady_warm_starts",
+        "steady solves started from a previous solution");
+    uint64_t warm_before = warm_ctr.value();
+
+    thermal::SteadyResult cold = net.solveSteady(power_at);
+    ASSERT_TRUE(cold.converged);
+    EXPECT_EQ(warm_ctr.value(), warm_before);
+
+    thermal::SteadyResult warm =
+        net.solveSteady(power_at, &cold.temps_k);
+    EXPECT_TRUE(warm.converged);
+    EXPECT_EQ(warm_ctr.value(), warm_before + 1);
+    // Restarted at the fixed point, the iteration is already inside
+    // tolerance: it terminates immediately and lands on the same
+    // solution (to within the fixed-point tolerance).
+    EXPECT_LE(warm.iterations, 2u);
+    EXPECT_LT(warm.iterations, cold.iterations);
+    for (std::size_t i = 0; i < cold.temps_k.size(); ++i)
+        EXPECT_NEAR(warm.temps_k[i], cold.temps_k[i], 2e-4)
+            << "block " << i;
+
+    // A wrong-size warm start is ignored, not trusted.
+    std::vector<double> bad(cold.temps_k.size() + 3, 330.0);
+    thermal::SteadyResult fallback = net.solveSteady(power_at, &bad);
+    EXPECT_TRUE(fallback.converged);
+    EXPECT_EQ(fallback.iterations, cold.iterations);
+    EXPECT_EQ(warm_ctr.value(), warm_before + 1);
+}
+
+TEST(ThermalSolver, ExhaustedSteadySolveWarnsAndCounts)
+{
+    thermal::ThermalNetwork net(tinyBlocks(), tinyCooling());
+    // Bistable feedback: power flips with the temperature threshold,
+    // so the fixed-point iteration oscillates forever without ever
+    // approaching the runaway cap — the silent-exhaustion case the
+    // counter now surfaces.
+    auto power_at = [](const std::vector<double> &temps) {
+        return std::vector<double>{
+            temps[0] < 330.0 ? 40.0 : 0.0, 0.0, 0.0};
+    };
+    obs::Counter &ctr = obs::Registry::instance().counter(
+        "thermal/steady_nonconverged",
+        "steady solves that exhausted the iteration budget");
+    uint64_t before = ctr.value();
+    thermal::SteadyResult s = net.solveSteady(power_at);
+    EXPECT_FALSE(s.converged);
+    EXPECT_EQ(s.iterations, 1000u);
+    EXPECT_LT(s.maxTemp(), thermal::ThermalNetwork::runaway_cap_k);
+    EXPECT_EQ(ctr.value(), before + 1);
+}
+
+// ---------------------------------------------------- exact propagator
+
+TEST(ThermalIntegrator, ConfigSelectsTheIntegrator)
+{
+    ThermalConfig tc = tinyCooling();
+    EXPECT_EQ(thermal::ThermalNetwork(tinyBlocks(), tc).integrator(),
+              thermal::ThermalNetwork::Integrator::exact);
+    tc.integrator = "euler";
+    EXPECT_EQ(thermal::ThermalNetwork(tinyBlocks(), tc).integrator(),
+              thermal::ThermalNetwork::Integrator::euler);
+
+    GpuConfig cfg = GpuConfig::gt240();
+    cfg.thermal.integrator = "rk4";
+    EXPECT_THROW(GpuConfig::fromXml(cfg.toXml()), FatalError);
+    cfg.thermal.integrator = "euler";
+    EXPECT_NO_THROW(GpuConfig::fromXml(cfg.toXml()));
+}
+
+TEST(ThermalIntegrator, ExactPropagatorConvergesToEulerAsStepsShrink)
+{
+    ThermalConfig exact_tc = tinyCooling();
+    ThermalConfig euler_tc = tinyCooling();
+    euler_tc.integrator = "euler";
+    thermal::ThermalNetwork exact_net(tinyBlocks(), exact_tc);
+    thermal::ThermalNetwork euler_net(tinyBlocks(), euler_tc);
+    std::vector<double> powers{25.0, 3.0, 4.0};
+
+    // March both integrators over the same 0.5 s span at two step
+    // sizes. The discrepancy is Euler's O(dt) truncation error: it
+    // must be small at the coarse step and shrink with dt.
+    auto discrepancy = [&](double dt) {
+        thermal::ThermalNetwork::State a = exact_net.ambientState();
+        thermal::ThermalNetwork::State b = euler_net.ambientState();
+        int steps = static_cast<int>(0.5 / dt);
+        for (int i = 0; i < steps; ++i) {
+            exact_net.advance(a, powers, dt);
+            euler_net.advance(b, powers, dt);
+        }
+        double err = 0.0;
+        for (std::size_t i = 0; i < a.temps_k.size(); ++i)
+            err = std::max(err,
+                           std::fabs(a.temps_k[i] - b.temps_k[i]));
+        return err;
+    };
+
+    double coarse = discrepancy(1e-3);
+    double fine = discrepancy(1e-4);
+    EXPECT_LT(coarse, 0.2); // K, on a ~20 K rise
+    EXPECT_LT(fine, coarse);
+    EXPECT_LT(fine, 0.02);
+}
+
+TEST(ThermalIntegrator, PropagatorCacheIsConsistentAcrossMixedDts)
+{
+    // Interleaved sample intervals exercise the per-dt cache in one
+    // network; a throwaway network per step rebuilds every
+    // propagator from scratch. The trajectories must agree bit for
+    // bit — a cache hit must be indistinguishable from a rebuild.
+    thermal::ThermalNetwork cached(tinyBlocks(), tinyCooling());
+    thermal::ThermalNetwork::State s_cached = cached.ambientState();
+    thermal::ThermalNetwork::State s_fresh = cached.ambientState();
+    std::vector<double> powers{25.0, 3.0, 4.0};
+    const double dts[] = {2e-6, 5e-4, 2e-6, 1e-2, 5e-4,
+                          2e-6, 1e-2, 2e-6, 5e-4, 2e-6};
+    for (double dt : dts) {
+        cached.advance(s_cached, powers, dt);
+        thermal::ThermalNetwork fresh(tinyBlocks(), tinyCooling());
+        fresh.advance(s_fresh, powers, dt);
+        ASSERT_EQ(s_cached.temps_k.size(), s_fresh.temps_k.size());
+        for (std::size_t i = 0; i < s_cached.temps_k.size(); ++i)
+            EXPECT_EQ(s_cached.temps_k[i], s_fresh.temps_k[i])
+                << "node " << i << " after dt " << dt;
+    }
+}
+
+TEST(ThermalIntegrator, ExactLandsOnSteadyStateForLongSpans)
+{
+    // The steady-snap shortcut is shared by both integrators, and
+    // below it the exact propagator still settles to the linear
+    // solution on constant power — no drift from the cached P/Q.
+    thermal::ThermalNetwork net(tinyBlocks(), tinyCooling());
+    std::vector<double> powers{25.0, 3.0, 4.0};
+    std::vector<double> steady = net.solveLinear(powers);
+
+    // The heatsink pole is ~75 s; 2000 s is ~27 time constants.
+    thermal::ThermalNetwork::State state = net.ambientState();
+    for (int i = 0; i < 2000; ++i)
+        net.advance(state, powers, 1.0);
+    for (std::size_t i = 0; i < state.temps_k.size(); ++i)
+        EXPECT_NEAR(state.temps_k[i], steady[i], 1e-6) << "node " << i;
+}
+
+TEST(ThermalIntegrator, IntegratorChoiceIsInvisibleWhenThermalOff)
+{
+    // With the subsystem off no integrator ever runs: the tables
+    // must be byte-identical between the two settings.
+    GpuConfig exact_cfg = GpuConfig::gt240();
+    GpuConfig euler_cfg = GpuConfig::gt240();
+    euler_cfg.thermal.integrator = "euler";
+    sim::ScenarioResult a = runScenario(exact_cfg, "matmul");
+    sim::ScenarioResult b = runScenario(euler_cfg, "matmul");
+    EXPECT_EQ(a.energy_j, b.energy_j);
+    EXPECT_EQ(a.time_s, b.time_s);
+    EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+}
+
+TEST(ThermalIntegrator, GovernedClampsAreDeterministicAcrossWorkers)
+{
+    // The governed acceptance sweep pinned to the exact integrator:
+    // 1 worker vs 8 workers must clamp identically, bit for bit.
+    sim::SweepSpec spec;
+    spec.configs = {GpuConfig::gt240(), GpuConfig::gtx580()};
+    spec.coolings = {"stock", "constrained"};
+    spec.workloads = {"matmul"};
+    for (GpuConfig &cfg : spec.configs) {
+        cfg.thermal.throttle = true;
+        cfg.thermal.integrator = "exact";
+    }
+
+    sim::EngineOptions one;
+    one.jobs = 1;
+    sim::EngineOptions eight;
+    eight.jobs = 8;
+    sim::SweepResult a = sim::SimulationEngine(one).run(spec);
+    sim::SweepResult b = sim::SimulationEngine(eight).run(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).energy_j, b.at(i).energy_j);
+        EXPECT_EQ(a.at(i).t_max_k, b.at(i).t_max_k);
+        EXPECT_EQ(a.at(i).min_freq_scale, b.at(i).min_freq_scale);
+        EXPECT_EQ(a.at(i).throttled, b.at(i).throttled);
+    }
+    EXPECT_TRUE(a.at(3).throttled);
+}
+
+// -------------------------------------------------------- thread safety
+
+TEST(ThermalStress, SharedNetworkServesConcurrentAdvancesAndSolves)
+{
+    // One const network, many threads with distinct States, mixed
+    // dts racing to populate the propagator cache plus concurrent
+    // steady solves: the TSan job runs this to prove the cache's
+    // locking. Each thread's trajectory must also match a
+    // single-threaded replay bit for bit.
+    thermal::ThermalNetwork net(tinyBlocks(), tinyCooling());
+    const double dts[] = {2e-6, 5e-4, 1e-2, 7e-5, 3e-3};
+    std::vector<double> powers{25.0, 3.0, 4.0};
+    auto power_at = [](const std::vector<double> &temps) {
+        return std::vector<double>{
+            20.0 + 0.05 * (temps[0] - 300.0), 2.0, 3.0};
+    };
+
+    auto march = [&](unsigned seed,
+                     thermal::ThermalNetwork::State &state) {
+        for (unsigned i = 0; i < 200; ++i) {
+            net.advance(state, powers, dts[(seed + i) % 5]);
+            if (i % 40 == 0) {
+                thermal::SteadyResult s =
+                    net.solveSteady(power_at, &state.temps_k);
+                EXPECT_TRUE(s.converged);
+            }
+        }
+    };
+
+    constexpr unsigned n_threads = 8;
+    std::vector<thermal::ThermalNetwork::State> states(
+        n_threads, net.ambientState());
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < n_threads; ++t)
+        threads.emplace_back([&, t] { march(t, states[t]); });
+    for (std::thread &th : threads)
+        th.join();
+
+    for (unsigned t = 0; t < n_threads; ++t) {
+        thermal::ThermalNetwork::State replay = net.ambientState();
+        march(t, replay);
+        ASSERT_EQ(states[t].temps_k.size(), replay.temps_k.size());
+        for (std::size_t i = 0; i < replay.temps_k.size(); ++i)
+            EXPECT_EQ(states[t].temps_k[i], replay.temps_k[i])
+                << "thread " << t << " node " << i;
+    }
 }

@@ -20,6 +20,11 @@ Metrics (``--metrics FILE``):
   * the full ``engine/*`` counter set is present (the engine registers
     every instrument up front, so even unused paths report zeros);
   * ``--expect name=value`` asserts an exact counter value;
+  * ``--expect-min name=value`` asserts a counter is at least value;
+  * ``--require-counter NAME`` asserts a counter is present. Unlike
+    the engine set, subsystem counters (e.g. ``thermal/*``) register
+    on first use, so only runs that exercise the subsystem assert
+    them;
   * ``--require-span NAME`` (with --trace) asserts at least one span.
 
 Exit status 0 = all checks pass, 1 = any violation (each printed).
@@ -144,7 +149,8 @@ def check_trace(doc, chk, require_spans):
                     % (required, ", ".join(sorted(span_names)) or "none"))
 
 
-def check_metrics(doc, chk, expectations):
+def check_metrics(doc, chk, expectations, min_expectations,
+                  require_counters):
     if not chk.require(isinstance(doc, dict),
                        "metrics: top level not an object"):
         return
@@ -160,6 +166,9 @@ def check_metrics(doc, chk, expectations):
     for name in REQUIRED_ENGINE_COUNTERS:
         chk.require(name in counters,
                     "metrics: required counter %r missing" % name)
+    for name in require_counters:
+        chk.require(name in counters,
+                    "metrics: required counter %r missing" % name)
     for name, value in counters.items():
         chk.require(_is_number(value) and value >= 0,
                     "metrics: counter %r has bad value %r" % (name, value))
@@ -170,6 +179,13 @@ def check_metrics(doc, chk, expectations):
         chk.require(counters[name] == expected,
                     "metrics: %s = %s, expected %s"
                     % (name, counters[name], expected))
+    for name, minimum in min_expectations:
+        if not chk.require(name in counters,
+                           "metrics: expected counter %r absent" % name):
+            continue
+        chk.require(counters[name] >= minimum,
+                    "metrics: %s = %s, expected at least %s"
+                    % (name, counters[name], minimum))
 
 
 def _load_json(path, what, chk):
@@ -190,6 +206,14 @@ def main(argv):
                         metavar="NAME=VALUE",
                         help="assert an exact counter value "
                              "(repeatable; requires --metrics)")
+    parser.add_argument("--expect-min", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="assert a counter value of at least VALUE "
+                             "(repeatable; requires --metrics)")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="assert a counter is present "
+                             "(repeatable; requires --metrics)")
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME",
                         help="assert the trace contains a span "
@@ -199,17 +223,24 @@ def main(argv):
     if not args.trace and not args.metrics:
         parser.error("nothing to check: pass --trace and/or --metrics")
 
-    expectations = []
-    for item in args.expect:
-        name, sep, value = item.partition("=")
-        if not sep:
-            parser.error("--expect takes NAME=VALUE, got %r" % item)
-        try:
-            expectations.append((name, int(value)))
-        except ValueError:
-            parser.error("--expect value must be an integer: %r" % item)
-    if expectations and not args.metrics:
-        parser.error("--expect requires --metrics")
+    def parse_value_args(items, flag):
+        parsed = []
+        for item in items:
+            name, sep, value = item.partition("=")
+            if not sep:
+                parser.error("%s takes NAME=VALUE, got %r" % (flag, item))
+            try:
+                parsed.append((name, int(value)))
+            except ValueError:
+                parser.error("%s value must be an integer: %r"
+                             % (flag, item))
+        return parsed
+
+    expectations = parse_value_args(args.expect, "--expect")
+    min_expectations = parse_value_args(args.expect_min, "--expect-min")
+    if ((expectations or min_expectations or args.require_counter)
+            and not args.metrics):
+        parser.error("counter assertions require --metrics")
     if args.require_span and not args.trace:
         parser.error("--require-span requires --trace")
 
@@ -221,7 +252,8 @@ def main(argv):
     if args.metrics:
         doc = _load_json(args.metrics, "metrics", chk)
         if doc is not None:
-            check_metrics(doc, chk, expectations)
+            check_metrics(doc, chk, expectations, min_expectations,
+                          args.require_counter)
 
     for err in chk.errors:
         print(err)

@@ -8,6 +8,7 @@ Rules (see the rule_*.py modules for the full rationale):
   hexfloat-serialization  doubles cross text boundaries as hex floats
   naked-alloc             no raw new/malloc outside src/common
   timing-clock            wall-time comes from obs::monotonicNs()
+  thermal-solve           dense thermal elimination stays in src/thermal
 
 Usage:
   check_contracts.py [--root DIR]   lint the tree (default: repo root)
@@ -27,12 +28,13 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from lint_common import SourceFile  # noqa: E402
 import rule_alloc  # noqa: E402
 import rule_hexfloat  # noqa: E402
+import rule_thermal_solve  # noqa: E402
 import rule_timing  # noqa: E402
 import rule_unordered  # noqa: E402
 import rule_xmacro  # noqa: E402
 
 RULES = (rule_xmacro, rule_unordered, rule_hexfloat, rule_alloc,
-         rule_timing)
+         rule_timing, rule_thermal_solve)
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 SOURCE_SUFFIXES = (".cc", ".hh", ".cpp", ".hpp", ".h")
@@ -78,6 +80,7 @@ SELF_TESTS = {
     "float_serialize": {"hexfloat-serialization": 2},
     "naked_alloc": {"naked-alloc": 2},
     "raw_timing": {"timing-clock": 2},
+    "thermal_solve": {"thermal-solve": 3},
     "clean": {},
 }
 

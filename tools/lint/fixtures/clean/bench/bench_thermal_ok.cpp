@@ -1,0 +1,21 @@
+#include <vector>
+
+namespace gpusimpow {
+
+// A benchmark's pre-factorization replica with a justified
+// annotation: the sanctioned escape hatch.
+// lint: thermal-solve-ok(pre-PR cost replica for the speedup gate)
+std::vector<double>
+preFactorReplica(const std::vector<double> &powers)
+{
+    return net.solveLinearReference(powers);
+}
+
+// Factored production solve needs no blessing.
+std::vector<double>
+fastPath(const std::vector<double> &powers)
+{
+    return net.solveLinear(powers);
+}
+
+} // namespace gpusimpow

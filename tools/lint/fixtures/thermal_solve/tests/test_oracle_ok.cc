@@ -1,0 +1,13 @@
+#include <vector>
+
+namespace gpusimpow {
+
+// tests/ may call the reference oracle freely: this is exactly what
+// it is exposed for (bit-identity proofs against the factored path).
+std::vector<double>
+oracle(const std::vector<double> &powers)
+{
+    return net.solveLinearReference(powers);
+}
+
+} // namespace gpusimpow
